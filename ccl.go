@@ -1,0 +1,207 @@
+// Package ccl is the public API of the cache-conscious structure
+// layout library — a reproduction of Chilimbi, Hill & Larus,
+// "Cache-Conscious Structure Layout" (PLDI 1999).
+//
+// The library provides:
+//
+//   - a simulated machine (byte-addressable address space plus a
+//     parameterized multi-level cache with TLB and cycle accounting)
+//     on which placement experiments are exact and reproducible;
+//   - a conventional boundary-tag allocator (the malloc baseline);
+//   - CCMalloc, the paper's cache-conscious heap allocator with the
+//     closest, first-fit, and new-block co-location strategies;
+//   - CCMorph, the paper's transparent tree reorganizer (subtree
+//     clustering and cache coloring);
+//   - the §5 analytic framework for predicting the benefit of a
+//     cache-conscious layout a priori;
+//   - the paper's evaluation suite: the tree microbenchmark, four
+//     Olden benchmarks, and the RADIANCE/VIS macrobenchmark
+//     substitutes (see DESIGN.md and EXPERIMENTS.md).
+//
+// Quickstart:
+//
+//	m := ccl.NewPaperMachine()
+//	alloc := ccl.NewCCMalloc(m, ccl.NewBlock)
+//	head := alloc.AllocHint(16, seed) // near an existing element
+//	cell := alloc.AllocHint(16, head) // co-located with head
+//
+// See examples/ for complete programs.
+package ccl
+
+import (
+	"ccl/internal/cache"
+	"ccl/internal/ccmalloc"
+	"ccl/internal/ccmorph"
+	"ccl/internal/heap"
+	"ccl/internal/layout"
+	"ccl/internal/machine"
+	"ccl/internal/memsys"
+	"ccl/internal/model"
+	"ccl/internal/trees"
+)
+
+// Core simulated-machine types.
+type (
+	// Machine is a simulated uniprocessor memory system: an address
+	// space plus a cache hierarchy with cycle accounting.
+	Machine = machine.Machine
+	// Addr is a simulated address; the zero value is nil.
+	Addr = memsys.Addr
+	// Arena is the simulated address space.
+	Arena = memsys.Arena
+	// CacheConfig parameterizes the simulated hierarchy.
+	CacheConfig = cache.Config
+	// CacheStats carries cycle and miss counters.
+	CacheStats = cache.Stats
+	// Geometry identifies the cache level placement targets.
+	Geometry = layout.Geometry
+)
+
+// NilAddr is the simulated null pointer.
+const NilAddr = memsys.NilAddr
+
+// PtrSize is the simulated pointer width in bytes (32-bit, as on the
+// paper's UltraSPARC).
+const PtrSize = memsys.PtrSize
+
+// NewMachine builds a machine with an explicit cache configuration.
+func NewMachine(cfg CacheConfig) *Machine { return machine.New(cfg) }
+
+// NewPaperMachine builds the paper's §4.1 measurement machine: 16 KB
+// direct-mapped L1, 1 MB direct-mapped L2, 64-entry TLB.
+func NewPaperMachine() *Machine { return machine.NewPaper() }
+
+// NewScaledMachine builds the §4.1 machine with capacities divided by
+// factor, preserving block sizes so placement behaves identically at
+// smaller scale.
+func NewScaledMachine(factor int64) *Machine { return machine.NewScaled(factor) }
+
+// PaperCache returns the §4.1 hierarchy configuration.
+func PaperCache() CacheConfig { return cache.PaperHierarchy() }
+
+// RSIMCache returns the Table 1 simulation hierarchy.
+func RSIMCache() CacheConfig { return cache.RSIMHierarchy() }
+
+// Allocators.
+type (
+	// Allocator is the interface shared by the baseline allocator
+	// and CCMalloc; co-location hints are no-ops for the baseline.
+	Allocator = heap.Allocator
+	// Malloc is the conventional boundary-tag allocator.
+	Malloc = heap.Malloc
+	// CCMalloc is the paper's cache-conscious allocator (§3.2).
+	CCMalloc = ccmalloc.Allocator
+	// Strategy selects CCMalloc's block-selection policy.
+	Strategy = ccmalloc.Strategy
+)
+
+// CCMalloc strategies (§3.2.1).
+const (
+	// Closest places spills as near the hint's block as possible.
+	Closest = ccmalloc.Closest
+	// FirstFit places spills in the first block with room.
+	FirstFit = ccmalloc.FirstFit
+	// NewBlock places spills in unused blocks, reserving their
+	// remainder for future hinted allocations.
+	NewBlock = ccmalloc.NewBlock
+)
+
+// NewMalloc returns a conventional allocator over the machine's
+// address space.
+func NewMalloc(m *Machine) *Malloc { return heap.New(m.Arena) }
+
+// NewCCMalloc returns a cache-conscious allocator targeting the
+// machine's last-level cache, charging its bookkeeping cost to the
+// machine's clock.
+func NewCCMalloc(m *Machine, s Strategy) *CCMalloc {
+	return ccmalloc.New(m.Arena, layout.FromLevel(m.Cache.LastLevel()), s, m.Cache)
+}
+
+// CCMorph (§3.1).
+type (
+	// StructureLayout is the template describing an element type to
+	// CCMorph: its size, arity, and pointer accessors.
+	StructureLayout = ccmorph.Layout
+	// MorphConfig carries the cache parameters of a reorganization.
+	MorphConfig = ccmorph.Config
+	// MorphStats reports what a reorganization did.
+	MorphStats = ccmorph.Stats
+	// Placer is a shareable placement context for morphing several
+	// structures against one cache partition.
+	Placer = ccmorph.Placer
+)
+
+// Reorganize transparently rewrites the tree rooted at root into a
+// cache-conscious layout (subtree clustering, plus coloring when
+// cfg.ColorFrac > 0) and returns the new root.
+func Reorganize(m *Machine, root Addr, lay StructureLayout, cfg MorphConfig,
+	freeOld func(Addr)) (Addr, MorphStats) {
+	return ccmorph.Reorganize(m, root, lay, cfg, freeOld)
+}
+
+// NewPlacer builds a shareable placement context over the machine's
+// arena.
+func NewPlacer(m *Machine, cfg MorphConfig) *Placer {
+	return ccmorph.NewPlacer(m.Arena, cfg)
+}
+
+// LastLevelGeometry returns the placement geometry of the machine's
+// last-level cache — the level ccmalloc and ccmorph target.
+func LastLevelGeometry(m *Machine) Geometry {
+	return layout.FromLevel(m.Cache.LastLevel())
+}
+
+// Analytic framework (§5).
+type (
+	// Locality is a structure's (D, K, Rs) locality description.
+	Locality = model.Locality
+	// CTreeModel predicts steady-state C-tree performance (§5.3).
+	CTreeModel = model.CTree
+	// CacheParams are the §5.1 timing parameters.
+	CacheParams = model.CacheParams
+)
+
+// PaperParams returns the §4.1 machine's analytic timing parameters.
+func PaperParams() CacheParams { return model.PaperParams() }
+
+// Speedup evaluates the Figure 8 speedup equation.
+func Speedup(p CacheParams, naiveL1, naiveL2, ccL1, ccL2 float64) float64 {
+	return model.Speedup(p, naiveL1, naiveL2, ccL1, ccL2)
+}
+
+// Tree structures (§4.2's microbenchmark subjects).
+type (
+	// BST is a balanced binary search tree over the simulated heap.
+	BST = trees.BST
+	// BTree is a block-node B-tree with colored upper levels.
+	BTree = trees.BTree
+	// BuildOrder selects a BST's allocation order.
+	BuildOrder = trees.Order
+)
+
+// BST allocation orders.
+const (
+	// RandomOrder scatters nodes (the naive baseline).
+	RandomOrder = trees.RandomOrder
+	// DepthFirstOrder allocates in preorder.
+	DepthFirstOrder = trees.DepthFirstOrder
+	// LevelOrder allocates level by level.
+	LevelOrder = trees.LevelOrder
+)
+
+// BuildBST builds a balanced BST of keys 1..n with the given
+// allocation order.
+func BuildBST(m *Machine, alloc Allocator, n int64, order BuildOrder, seed int64) *BST {
+	return trees.Build(m, alloc, n, order, seed)
+}
+
+// NewBTree returns an empty B-tree whose nodes are single cache
+// blocks; colorFrac > 0 reserves that cache fraction for the
+// root-most nodes.
+func NewBTree(m *Machine, colorFrac float64) *BTree {
+	return trees.NewBTree(m, colorFrac)
+}
+
+// BSTLayout returns the CCMorph template for BST nodes, for use with
+// Reorganize.
+func BSTLayout() StructureLayout { return trees.Layout() }

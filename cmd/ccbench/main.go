@@ -1,0 +1,70 @@
+// Command ccbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ccbench [-full] [experiment ...]
+//
+// Experiments: table1 fig5 fig6 table2 fig7 table3 control memovh
+// fig10, or "all" (the default). -full runs paper-scale structure
+// sizes on the unscaled §4.1/Table 1 machines; expect minutes instead
+// of seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ccl/internal/bench"
+)
+
+var experiments = map[string]func(full bool) bench.Table{
+	"table1":          func(bool) bench.Table { return bench.Table1() },
+	"fig5":            bench.Fig5,
+	"fig6":            bench.Fig6,
+	"table2":          bench.Table2,
+	"fig7":            bench.Fig7,
+	"table3":          func(bool) bench.Table { return bench.Table3() },
+	"control":         bench.Control,
+	"memovh":          bench.MemOvh,
+	"fig10":           bench.Fig10,
+	"ablate-color":    bench.AblationColorFrac,
+	"ablate-block":    bench.AblationBlockSize,
+	"ablate-interval": bench.AblationMorphInterval,
+}
+
+var order = []string{"table1", "fig5", "fig6", "table2", "fig7", "table3", "control", "memovh", "fig10", "ablate-color", "ablate-block", "ablate-interval"}
+
+func main() {
+	full := flag.Bool("full", false, "run paper-scale workloads (slow)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ccbench [-full] [experiment ...]\navailable: all %v\n", order)
+	}
+	flag.Parse()
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = []string{"all"}
+	}
+
+	var run []string
+	for _, id := range ids {
+		if id == "all" {
+			run = append(run, order...)
+			continue
+		}
+		if _, ok := experiments[id]; !ok {
+			fmt.Fprintf(os.Stderr, "ccbench: unknown experiment %q\navailable: all %v\n", id, order)
+			os.Exit(2)
+		}
+		run = append(run, id)
+	}
+
+	for _, id := range run {
+		start := time.Now()
+		t := experiments[id](*full)
+		t.Render(os.Stdout)
+		fmt.Printf("  (%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

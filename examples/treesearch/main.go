@@ -1,0 +1,59 @@
+// Treesearch: the paper's Figure 5 microbenchmark in miniature.
+// Builds the same balanced binary search tree four ways — randomly
+// placed, depth-first placed, as a colored in-core B-tree, and as a
+// ccmorph "transparent C-tree" — then measures the average cost of
+// random searches on each.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ccl"
+)
+
+const (
+	keys     = 1<<16 - 1
+	searches = 5000
+)
+
+func measure(name string, m *ccl.Machine, search func(uint32) bool) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < searches/4; i++ { // warm up to steady state
+		search(uint32(rng.Int63n(keys)) + 1)
+	}
+	m.ResetStats()
+	for i := 0; i < searches; i++ {
+		if !search(uint32(rng.Int63n(keys)) + 1) {
+			panic("key not found")
+		}
+	}
+	st := m.Stats()
+	fmt.Printf("%-28s %8.1f cycles/search  (L2 miss rate %.3f)\n",
+		name, float64(st.TotalCycles())/searches, st.Levels[1].MissRate())
+}
+
+func main() {
+	fmt.Printf("Random searches over %d keys (tree ~40x the scaled L2):\n\n", keys)
+
+	m1 := ccl.NewScaledMachine(32)
+	random := ccl.BuildBST(m1, ccl.NewMalloc(m1), keys, ccl.RandomOrder, 3)
+	measure("random-clustered tree", m1, random.Search)
+
+	m2 := ccl.NewScaledMachine(32)
+	dfs := ccl.BuildBST(m2, ccl.NewMalloc(m2), keys, ccl.DepthFirstOrder, 3)
+	measure("depth-first clustered tree", m2, dfs.Search)
+
+	m3 := ccl.NewScaledMachine(32)
+	bt := ccl.NewBTree(m3, 0.5)
+	bt.BulkLoad(keys, 0.67)
+	measure("in-core B-tree (colored)", m3, bt.Search)
+
+	m4 := ccl.NewScaledMachine(32)
+	ctree := ccl.BuildBST(m4, ccl.NewMalloc(m4), keys, ccl.RandomOrder, 3)
+	st := ctree.Morph(0.5, nil) // subtree clustering + coloring
+	measure("transparent C-tree", m4, ctree.Search)
+
+	fmt.Printf("\nccmorph packed %d nodes into %d cache blocks (k=%d), %d of them pinned hot\n",
+		st.Nodes, st.Clusters, st.NodesPerBlk, st.HotClusters)
+}

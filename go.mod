@@ -1,0 +1,3 @@
+module ccl
+
+go 1.22

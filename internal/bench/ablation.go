@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ccl/internal/cache"
+	"ccl/internal/heap"
+	"ccl/internal/machine"
+	"ccl/internal/olden"
+	healthpkg "ccl/internal/olden/health"
+	"ccl/internal/trees"
+)
+
+// Ablation experiments probe the design choices DESIGN.md calls out:
+// how much cache to color (the paper's Color_const parameter, §3.1.1)
+// and how clustering's benefit scales with cache-block size (the
+// model's log2(k+1) spatial-locality claim, §5.3).
+
+// ctreeSpeedup measures naive-vs-morphed search time for one machine
+// configuration and coloring fraction.
+func ctreeSpeedup(cfg cache.Config, n int64, searches int, colorFrac float64) float64 {
+	measure := func(morph bool) float64 {
+		m := machine.New(cfg)
+		t := trees.Build(m, heap.New(m.Arena), n, trees.RandomOrder, 11)
+		if morph {
+			t.Morph(colorFrac, nil)
+		}
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < searches/4; i++ {
+			t.Search(uint32(rng.Int63n(n)) + 1)
+		}
+		m.ResetStats()
+		for i := 0; i < searches; i++ {
+			t.Search(uint32(rng.Int63n(n)) + 1)
+		}
+		return float64(m.Stats().TotalCycles()) / float64(searches)
+	}
+	return measure(false) / measure(true)
+}
+
+// AblationColorFrac sweeps the Color_const parameter: how much of the
+// cache the reorganizer reserves for the structure's hottest
+// elements. Zero is clustering-only.
+func AblationColorFrac(full bool) Table {
+	n := int64(1<<16 - 1)
+	searches := 12000
+	scale := int64(Scale)
+	if full {
+		n = 1<<20 - 1
+		searches = 200000
+		scale = 1
+	}
+	tab := Table{
+		ID:     "ablate-color",
+		Title:  "Color_const ablation: C-tree speedup vs colored cache fraction",
+		Header: []string{"ColorFrac", "speedup vs naive"},
+	}
+	cfg := cache.ScaledHierarchy(scale)
+	for _, frac := range []float64{0, 0.125, 0.25, 0.5, 0.75} {
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%.3f", frac), f2(ctreeSpeedup(cfg, n, searches, frac)),
+		})
+	}
+	tab.Notes = append(tab.Notes,
+		"clustering-only (0) sets the floor; over-coloring starves the cold region",
+		"the paper's experiments use one half (§5.4)")
+	return tab
+}
+
+// AblationBlockSize sweeps the L2 block size, comparing the measured
+// clustering benefit against the model's K = log2(k+1) spatial
+// locality function (§5.3): bigger blocks pack more nodes per
+// transfer, with logarithmically growing path coverage.
+func AblationBlockSize(full bool) Table {
+	n := int64(1<<16 - 1)
+	searches := 12000
+	if full {
+		n = 1<<20 - 1
+		searches = 200000
+	}
+	tab := Table{
+		ID:     "ablate-block",
+		Title:  "Block-size ablation: clustering speedup vs model K = log2(k+1)",
+		Header: []string{"L2 block", "k", "model K", "measured speedup"},
+	}
+	for _, bs := range []int64{32, 64, 128, 256} {
+		cfg := cache.ScaledHierarchy(Scale)
+		cfg.Levels[1].BlockSize = bs
+		// Keep L1 no larger-blocked than L2.
+		if cfg.Levels[0].BlockSize > bs {
+			cfg.Levels[0].BlockSize = bs
+		}
+		k := bs / trees.BSTNodeSize
+		if k < 1 {
+			k = 1
+		}
+		sp := ctreeSpeedup(cfg, n, searches, 0.5)
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%dB", bs),
+			fmt.Sprintf("%d", k),
+			f2(math.Log2(float64(k) + 1)),
+			f2(sp),
+		})
+	}
+	tab.Notes = append(tab.Notes,
+		"the measured speedup should grow with block size roughly like the model's K")
+	return tab
+}
+
+// AblationMorphInterval sweeps health's ccmorph reorganization
+// period. The paper notes "no attempt was made to determine the
+// optimal interval between invocations" (§4.4); this experiment maps
+// the trade-off between reorganization cost and the decay of its
+// benefit as the lists churn.
+func AblationMorphInterval(full bool) Table {
+	cfg := healthpkg.DefaultConfig()
+	if full {
+		cfg = healthpkg.PaperConfig()
+	}
+	tab := Table{
+		ID:     "ablate-interval",
+		Title:  "health: ccmorph reorganization interval sweep (normalized cycles)",
+		Header: []string{"Interval (steps)", "normalized", "heap"},
+	}
+	baseCfg := cfg
+	baseCfg.MorphInterval = 0
+	base := healthpkg.Run(olden.NewEnv(olden.Base, OldenScale), baseCfg)
+	for _, iv := range []int{5, 10, 15, 25, 50, 75} {
+		c := cfg
+		c.MorphInterval = iv
+		r := healthpkg.Run(olden.NewEnv(olden.CCMorphClusterColor, OldenScale), c)
+		if r.Check != base.Check {
+			panic("bench: morph interval changed health's result")
+		}
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", iv),
+			pct(100 * float64(r.Cycles()) / float64(base.Cycles())),
+			kb(r.HeapBytes),
+		})
+	}
+	tab.Notes = append(tab.Notes,
+		"too-frequent reorganization pays copy costs; too-rare lets churn scatter the lists",
+		"base (no morph) = 100%")
+	return tab
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignsColumns(t *testing.T) {
+	tab := Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"name", "value"},
+		Rows:   [][]string{{"a", "1"}, {"longer-name", "12345"}},
+		Notes:  []string{"a note"},
+	}
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"== x: demo", "longer-name", "12345", "note: a note", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1HasPaperParameters(t *testing.T) {
+	tab := Table1()
+	var joined strings.Builder
+	tab.Render(&joined)
+	for _, want := range []string{"16KB", "256KB", "128 bytes", "+60 cycles"} {
+		if !strings.Contains(joined.String(), want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2RowsAndMemory(t *testing.T) {
+	tab := Table2(false)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("Table 2 has %d rows, want 4", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if !strings.HasSuffix(r[4], "KB") {
+			t.Errorf("%s: memory column %q not measured", r[0], r[4])
+		}
+	}
+}
+
+func TestTable3Qualitative(t *testing.T) {
+	tab := Table3()
+	if len(tab.Rows) != 3 || tab.Rows[1][0] != "ccmorph" || tab.Rows[2][0] != "ccmalloc" {
+		t.Fatalf("Table 3 rows wrong: %v", tab.Rows)
+	}
+}
+
+func TestControlDirection(t *testing.T) {
+	tab := Control(false)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("control has %d rows", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		slow := strings.TrimSuffix(r[3], "%")
+		v, err := strconv.ParseFloat(slow, 64)
+		if err != nil {
+			t.Fatalf("%s: bad slowdown %q", r[0], r[3])
+		}
+		if v <= 0 {
+			t.Errorf("%s: null-hint control not slower than base (%v%%)", r[0], v)
+		}
+	}
+}
+
+func TestAblationColorFracMonotoneRegion(t *testing.T) {
+	tab := AblationColorFrac(false)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("ablation rows = %d", len(tab.Rows))
+	}
+	parse := func(i int) float64 {
+		v, err := strconv.ParseFloat(tab.Rows[i][1], 64)
+		if err != nil {
+			t.Fatalf("bad speedup %q", tab.Rows[i][1])
+		}
+		return v
+	}
+	// Coloring must add something over clustering alone on a tree
+	// much larger than the cache.
+	if parse(3) <= parse(0) {
+		t.Errorf("ColorFrac 0.5 (%.2f) not better than clustering-only (%.2f)", parse(3), parse(0))
+	}
+	for i := 0; i < 5; i++ {
+		if parse(i) < 1 {
+			t.Errorf("row %d: reorganization slower than naive (%.2f)", i, parse(i))
+		}
+	}
+}
+
+func TestAblationBlockSizeTracksModel(t *testing.T) {
+	tab := AblationBlockSize(false)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	prev := 0.0
+	for i, r := range tab.Rows {
+		v, err := strconv.ParseFloat(r[3], 64)
+		if err != nil {
+			t.Fatalf("bad speedup %q", r[3])
+		}
+		if v <= prev {
+			t.Errorf("row %d: speedup %.2f not increasing with block size", i, v)
+		}
+		prev = v
+	}
+}
+
+func TestOldenRunUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown benchmark did not panic")
+		}
+	}()
+	oldenRun("nonesuch", 0, false)
+}

@@ -1,0 +1,415 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ccl/internal/apps/radiance"
+	"ccl/internal/apps/vis"
+	"ccl/internal/cache"
+	"ccl/internal/ccmalloc"
+	"ccl/internal/heap"
+	"ccl/internal/machine"
+	"ccl/internal/model"
+	"ccl/internal/olden"
+	"ccl/internal/olden/health"
+	"ccl/internal/olden/mst"
+	"ccl/internal/olden/perimeter"
+	"ccl/internal/olden/treeadd"
+	"ccl/internal/trees"
+)
+
+// Scale is the default cache-scaling divisor for quick runs. Full
+// runs (cmd/ccbench -full) use paper-scale structures instead.
+const Scale = 16
+
+// OldenScale is the divisor for the Olden/RSIM experiments.
+const OldenScale = 8
+
+// Table1 reports the RSIM simulation parameters (paper Table 1).
+func Table1() Table {
+	cfg := cache.RSIMHierarchy()
+	rows := [][]string{
+		{"Issue model", "in-order cost model (stand-in for 4-wide OOO)"},
+		{"L1 data cache", fmt.Sprintf("%s, direct-mapped, write-through", kb(cfg.Levels[0].Size))},
+		{"L2 cache", fmt.Sprintf("%s, %d-way set associative, write-back", kb(cfg.Levels[1].Size), cfg.Levels[1].Assoc)},
+		{"Cache line size", fmt.Sprintf("%d bytes", cfg.Levels[1].BlockSize)},
+		{"L1 hit", fmt.Sprintf("%d cycle", cfg.Levels[0].Latency)},
+		{"L1 miss (L2 hit)", fmt.Sprintf("%d cycles", cfg.Levels[0].Latency+cfg.Levels[1].Latency)},
+		{"L2 miss", fmt.Sprintf("+%d cycles", cfg.MemLatency)},
+		{"SW prefetch issue", "1 cycle, fills overlap with work"},
+		{"HW prefetch", "pointer values in flight, ROB-capped lead"},
+	}
+	return Table{
+		ID:     "table1",
+		Title:  "Simulation parameters (cf. paper Table 1)",
+		Header: []string{"Parameter", "Value"},
+		Rows:   rows,
+		Notes:  []string{"RSIM's OOO pipeline is replaced by a cycle cost model; see DESIGN.md."},
+	}
+}
+
+// fig5Config bundles one microbenchmark series.
+type fig5Config struct {
+	name  string
+	build func(m *machine.Machine, n int64) func(uint32) bool
+}
+
+// Fig5 regenerates the tree microbenchmark (paper Figure 5): average
+// search cycles per lookup as the number of repeated random searches
+// grows, for the four tree configurations. full selects paper-scale
+// sizes.
+func Fig5(full bool) Table {
+	nodes := int64(1<<17 - 1)
+	checkpoints := []int{10, 100, 1000, 10000, 100000}
+	scale := int64(Scale)
+	if full {
+		nodes = 1<<21 - 1 // the paper's 2,097,151 keys
+		checkpoints = append(checkpoints, 1000000)
+		scale = 1
+	}
+
+	configs := []fig5Config{
+		{"random-clustered binary tree", func(m *machine.Machine, n int64) func(uint32) bool {
+			t := trees.Build(m, heap.New(m.Arena), n, trees.RandomOrder, 11)
+			return t.Search
+		}},
+		{"depth-first clustered binary tree", func(m *machine.Machine, n int64) func(uint32) bool {
+			t := trees.Build(m, heap.New(m.Arena), n, trees.DepthFirstOrder, 11)
+			return t.Search
+		}},
+		{"in-core B-tree (colored)", func(m *machine.Machine, n int64) func(uint32) bool {
+			t := trees.NewBTree(m, 0.5)
+			t.BulkLoad(n, 0.67)
+			return t.Search
+		}},
+		{"transparent C-tree", func(m *machine.Machine, n int64) func(uint32) bool {
+			t := trees.Build(m, heap.New(m.Arena), n, trees.RandomOrder, 11)
+			t.Morph(0.5, nil)
+			return t.Search
+		}},
+	}
+
+	tab := Table{
+		ID:     "fig5",
+		Title:  fmt.Sprintf("Binary tree microbenchmark, %d keys (avg cycles/search)", nodes),
+		Header: []string{"Configuration"},
+	}
+	for _, c := range checkpoints {
+		tab.Header = append(tab.Header, fmt.Sprintf("%d", c))
+	}
+
+	for _, cfg := range configs {
+		m := machine.NewScaled(scale)
+		search := cfg.build(m, nodes)
+		m.Cache.Flush()
+		m.ResetStats()
+		rng := rand.New(rand.NewSource(5))
+		row := []string{cfg.name}
+		done := 0
+		for _, c := range checkpoints {
+			for ; done < c; done++ {
+				search(uint32(rng.Int63n(nodes)) + 1)
+			}
+			row = append(row, f1(float64(m.Stats().TotalCycles())/float64(done)))
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	tab.Notes = append(tab.Notes,
+		"paper: C-tree beats random by 4-5x, depth-first by 2.5-3x, B-tree by ~1.5x at 1M searches")
+	return tab
+}
+
+// Fig6 regenerates the macrobenchmark comparison (paper Figure 6):
+// RADIANCE under base/clustering/clustering+coloring and VIS under
+// base/ccmalloc-new-block, normalized to base.
+func Fig6(full bool) Table {
+	radCfg := radiance.DefaultConfig()
+	visCfg := vis.DefaultConfig()
+	if full {
+		radCfg = radiance.PaperConfig()
+		visCfg = vis.PaperConfig()
+	}
+
+	tab := Table{
+		ID:     "fig6",
+		Title:  "RADIANCE and VIS applications (normalized execution time)",
+		Header: []string{"Application / configuration", "cycles", "normalized"},
+	}
+	var radBase int64
+	for _, mode := range []radiance.Mode{radiance.Base, radiance.Cluster, radiance.ClusterColor} {
+		r := radiance.Run(machine.NewScaled(Scale), mode, radCfg)
+		if mode == radiance.Base {
+			radBase = r.Cycles()
+		}
+		tab.Rows = append(tab.Rows, []string{
+			"RADIANCE " + mode.String(),
+			fmt.Sprintf("%d", r.Cycles()),
+			pct(100 * float64(r.Cycles()) / float64(radBase)),
+		})
+	}
+	var visBase int64
+	for _, mode := range []vis.Mode{vis.Base, vis.CCMalloc} {
+		r := vis.Run(machine.NewPaper(), mode, visCfg)
+		if mode == vis.Base {
+			visBase = r.Cycles()
+		}
+		tab.Rows = append(tab.Rows, []string{
+			"VIS " + mode.String(),
+			fmt.Sprintf("%d", r.Cycles()),
+			pct(100 * float64(r.Cycles()) / float64(visBase)),
+		})
+	}
+	tab.Notes = append(tab.Notes,
+		"paper: RADIANCE 42% speedup (70.4% normalized), VIS 27% speedup (78.7% normalized)")
+	return tab
+}
+
+// oldenRun dispatches one benchmark/variant pair.
+func oldenRun(bench string, v olden.Variant, full bool) olden.Result {
+	return runInEnv(bench, olden.NewEnv(v, OldenScale), full)
+}
+
+// runInEnv runs a named benchmark in a prepared environment.
+func runInEnv(bench string, env olden.Env, full bool) olden.Result {
+	switch bench {
+	case "treeadd":
+		c := treeadd.DefaultConfig()
+		if full {
+			c = treeadd.PaperConfig()
+		}
+		return treeadd.Run(env, c)
+	case "health":
+		c := health.DefaultConfig()
+		if full {
+			c = health.PaperConfig()
+		}
+		return health.Run(env, c)
+	case "mst":
+		c := mst.DefaultConfig()
+		if full {
+			c = mst.PaperConfig()
+		}
+		return mst.Run(env, c)
+	case "perimeter":
+		c := perimeter.DefaultConfig()
+		if full {
+			c = perimeter.PaperConfig()
+		}
+		return perimeter.Run(env, c)
+	}
+	panic("bench: unknown benchmark " + bench)
+}
+
+// OldenBenchmarks lists the Figure 7 benchmarks in paper order.
+var OldenBenchmarks = []string{"treeadd", "health", "mst", "perimeter"}
+
+// Table2 regenerates the benchmark characteristics (paper Table 2),
+// with the memory-allocated column measured from the base runs.
+func Table2(full bool) Table {
+	desc := map[string][2]string{
+		"treeadd":   {"Sums the values stored in tree nodes", "binary tree"},
+		"health":    {"Simulation of Columbian health care system", "doubly linked lists"},
+		"mst":       {"Computes minimum spanning tree of a graph", "array of singly linked lists"},
+		"perimeter": {"Computes perimeter of regions in images", "quadtree"},
+	}
+	input := map[string]string{
+		"treeadd":   fmt.Sprintf("%d nodes", treeadd.DefaultConfig().Nodes()),
+		"health":    fmt.Sprintf("%d villages, %d steps", health.DefaultConfig().Villages(), health.DefaultConfig().Steps),
+		"mst":       fmt.Sprintf("%d nodes", mst.DefaultConfig().NumVert),
+		"perimeter": fmt.Sprintf("%dx%d image", perimeter.DefaultConfig().ImageSize, perimeter.DefaultConfig().ImageSize),
+	}
+	tab := Table{
+		ID:     "table2",
+		Title:  "Benchmark characteristics (cf. paper Table 2)",
+		Header: []string{"Name", "Description", "Main structure", "Input", "Memory"},
+	}
+	for _, b := range OldenBenchmarks {
+		r := oldenRun(b, olden.Base, full)
+		d := desc[b]
+		tab.Rows = append(tab.Rows, []string{b, d[0], d[1], input[b], kb(r.HeapBytes)})
+	}
+	return tab
+}
+
+// Fig7 regenerates the Olden comparison (paper Figure 7): normalized
+// execution time for the eight schemes, with the busy/load/store
+// breakdown the paper's stacked bars show.
+func Fig7(full bool) Table {
+	tab := Table{
+		ID:     "fig7",
+		Title:  "Cache-conscious data placement on Olden (normalized cycles)",
+		Header: []string{"Benchmark", "Scheme", "norm", "busy", "load stall", "store stall", "heap"},
+	}
+	for _, b := range OldenBenchmarks {
+		var base olden.Result
+		for _, v := range olden.Figure7Variants {
+			r := oldenRun(b, v, full)
+			if v == olden.Base {
+				base = r
+			}
+			tot := float64(base.Cycles())
+			s := r.Stats
+			tab.Rows = append(tab.Rows, []string{
+				b, v.String(),
+				pct(100 * float64(r.Cycles()) / tot),
+				pct(100 * float64(s.BusyCycles+s.L1HitCycles+s.PrefetchIssue) / tot),
+				pct(100 * float64(s.LoadStallCycles) / tot),
+				pct(100 * float64(s.StoreStall) / tot),
+				kb(r.HeapBytes),
+			})
+		}
+	}
+	tab.Notes = append(tab.Notes,
+		"B=base HP=hw-prefetch SP=sw-prefetch FA/CA/NA=ccmalloc first-fit/closest/new-block Cl(+Col)=ccmorph",
+		"components are normalized to each benchmark's base total, as in the paper's stacked bars")
+	return tab
+}
+
+// Table3 reproduces the qualitative technique summary (paper Table 3).
+func Table3() Table {
+	return Table{
+		ID:     "table3",
+		Title:  "Summary of cache-conscious data placement techniques (paper Table 3)",
+		Header: []string{"Technique", "Structures", "Prog. knowledge", "Arch. knowledge", "Code change", "Performance"},
+		Rows: [][]string{
+			{"CC design", "universal", "high", "high", "large", "high"},
+			{"ccmorph", "tree-like", "moderate", "low", "small", "moderate-high"},
+			{"ccmalloc", "universal", "low", "none", "small", "moderate-high"},
+		},
+	}
+}
+
+// Control regenerates the §4.4 control experiment: ccmalloc with all
+// hints replaced by null pointers versus the base allocator.
+func Control(full bool) Table {
+	tab := Table{
+		ID:     "control",
+		Title:  "Null-hint control experiment (ccmalloc, all hints nil)",
+		Header: []string{"Benchmark", "base cycles", "null-hint cycles", "slowdown"},
+	}
+	for _, b := range OldenBenchmarks {
+		base := oldenRun(b, olden.Base, full)
+		null := oldenRun(b, olden.CCMallocNullHint, full)
+		tab.Rows = append(tab.Rows, []string{
+			b,
+			fmt.Sprintf("%d", base.Cycles()),
+			fmt.Sprintf("%d", null.Cycles()),
+			pct(100*float64(null.Cycles())/float64(base.Cycles()) - 100),
+		})
+	}
+	tab.Notes = append(tab.Notes, "paper: 2-6% worse than the base versions that use system malloc")
+	return tab
+}
+
+// MemOvh regenerates the §4.4 memory-overhead accounting across
+// allocation strategies.
+func MemOvh(full bool) Table {
+	tab := Table{
+		ID:     "memovh",
+		Title:  "Heap footprint by allocation strategy",
+		Header: []string{"Benchmark", "base", "first-fit", "closest", "new-block", "FA blocks", "NA blocks", "NA vs FA blocks"},
+	}
+	footprint := func(b string, v olden.Variant) (int64, int64) {
+		env := olden.NewEnv(v, OldenScale)
+		r := runInEnv(b, env, full)
+		if cc, ok := env.Alloc.(*ccmalloc.Allocator); ok {
+			return r.HeapBytes, cc.BlocksUsed()
+		}
+		return r.HeapBytes, 0
+	}
+	for _, b := range OldenBenchmarks {
+		base, _ := footprint(b, olden.Base)
+		fa, faBlk := footprint(b, olden.CCMallocFirstFit)
+		ca, _ := footprint(b, olden.CCMallocClosest)
+		na, naBlk := footprint(b, olden.CCMallocNewBlock)
+		tab.Rows = append(tab.Rows, []string{
+			b, kb(base), kb(fa), kb(ca), kb(na),
+			fmt.Sprintf("%d", faBlk), fmt.Sprintf("%d", naBlk),
+			pct(100*float64(naBlk)/float64(faBlk) - 100),
+		})
+	}
+	tab.Notes = append(tab.Notes,
+		"paper: new-block needs +12% (treeadd), +7% (health), +3% (mst), +30% (perimeter) more memory;",
+		"the cache-block column exposes the reservation slack that page-granular footprints can hide")
+	return tab
+}
+
+// Fig10 regenerates the model validation (paper Figure 10): predicted
+// versus measured C-tree speedup across tree sizes.
+func Fig10(full bool) Table {
+	sizes := []int64{1<<14 - 1, 1<<15 - 1, 1<<16 - 1, 1<<17 - 1}
+	searches := 20000
+	scale := int64(Scale)
+	if full {
+		sizes = []int64{1<<18 - 1, 1<<19 - 1, 1<<20 - 1, 1<<21 - 1, 1<<22 - 1}
+		searches = 1000000
+		scale = 1
+	}
+	tab := Table{
+		ID:     "fig10",
+		Title:  "Predicted and measured C-tree speedup vs tree size",
+		Header: []string{"Tree size", "predicted", "measured", "pred/meas"},
+	}
+	params := model.PaperParams()
+	for _, n := range sizes {
+		pred, meas := fig10Point(n, searches, scale, params)
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", n), f2(pred), f2(meas), f2(pred / meas),
+		})
+	}
+	tab.Notes = append(tab.Notes,
+		"the model tracks the curve's shape with a roughly constant bias, as in the paper;",
+		"here it overestimates (~1.4x) because the Figure 8 naive baseline assumes zero reuse",
+		"(K=1, R=0) while the simulated random tree still caches its root-most levels.",
+		"The paper's bias ran the other way (-15%), from TLB gains its model omitted.")
+	return tab
+}
+
+// fig10Point measures one tree size: naive (random-placement) search
+// time over C-tree search time, against the analytic prediction.
+func fig10Point(n int64, searches int, scale int64, params model.CacheParams) (pred, meas float64) {
+	lc := cache.ScaledHierarchy(scale).Levels[1]
+	ct := model.CTree{
+		N:       n,
+		K:       lc.BlockSize / trees.BSTNodeSize,
+		Sets:    lc.Sets(),
+		Assoc:   int64(lc.Assoc),
+		HotFrac: 0.5,
+	}
+	pred = ct.PredictedSpeedup(params)
+
+	measure := func(morph bool) float64 {
+		m := machine.NewScaled(scale)
+		t := trees.Build(m, heap.New(m.Arena), n, trees.RandomOrder, 11)
+		if morph {
+			t.Morph(0.5, nil)
+		}
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < searches/4; i++ { // steady state (§5.3)
+			t.Search(uint32(rng.Int63n(n)) + 1)
+		}
+		m.ResetStats()
+		for i := 0; i < searches; i++ {
+			t.Search(uint32(rng.Int63n(n)) + 1)
+		}
+		return float64(m.Stats().TotalCycles()) / float64(searches)
+	}
+	meas = measure(false) / measure(true)
+	return pred, meas
+}
+
+// All returns every experiment at quick scale, in paper order.
+func All(full bool) []Table {
+	return []Table{
+		Table1(),
+		Fig5(full),
+		Fig6(full),
+		Table2(full),
+		Fig7(full),
+		Table3(),
+		Control(full),
+		MemOvh(full),
+		Fig10(full),
+	}
+}

@@ -1,0 +1,634 @@
+// Package cache implements a parameterized, multi-level, set-associative
+// cache simulator with cycle accounting.
+//
+// The simulator plays the role RSIM and the UltraSPARC memory hierarchy
+// played in the paper: every load and store issued by a simulated
+// program is mapped to cache sets by address, hits and misses are
+// charged their configured latencies, and prefetches are modeled with
+// fill timestamps so that latency can be partially hidden by useful
+// work — the property that makes prefetching competitive on some
+// workloads and layout superior on others (paper §4.4).
+package cache
+
+import (
+	"fmt"
+
+	"ccl/internal/memsys"
+)
+
+// AccessKind distinguishes demand loads, demand stores, and prefetches.
+type AccessKind int
+
+const (
+	// Load is a demand read.
+	Load AccessKind = iota
+	// Store is a demand write.
+	Store
+	// PrefetchRead is a non-binding prefetch: it installs the block
+	// but the requester does not wait for the fill.
+	PrefetchRead
+)
+
+// String returns the conventional name of the access kind.
+func (k AccessKind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case PrefetchRead:
+		return "prefetch"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", int(k))
+	}
+}
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Name      string // "L1", "L2", ...
+	Size      int64  // total capacity in bytes
+	Assoc     int    // ways per set; 1 = direct-mapped
+	BlockSize int64  // line size in bytes
+	// Latency is the number of cycles added when an access is
+	// satisfied at this level (beyond the latencies of the levels
+	// above it). The paper's §4.1 machine: L1 = 1, L2 adds 6,
+	// memory adds 64.
+	Latency int64
+	// WriteBack selects write-back with dirty bits; false selects
+	// write-through (dirty blocks never cause writeback traffic).
+	WriteBack bool
+}
+
+// Validate reports a configuration error, if any.
+func (c LevelConfig) Validate() error {
+	if c.Size <= 0 || c.Assoc <= 0 || c.BlockSize <= 0 {
+		return fmt.Errorf("cache: level %q: size, assoc, and block size must be positive", c.Name)
+	}
+	if c.BlockSize&(c.BlockSize-1) != 0 {
+		return fmt.Errorf("cache: level %q: block size %d is not a power of two", c.Name, c.BlockSize)
+	}
+	if c.Size%(c.BlockSize*int64(c.Assoc)) != 0 {
+		return fmt.Errorf("cache: level %q: size %d not divisible by assoc*block (%d)",
+			c.Name, c.Size, c.BlockSize*int64(c.Assoc))
+	}
+	return nil
+}
+
+// Sets returns the number of sets at this level.
+func (c LevelConfig) Sets() int64 { return c.Size / (c.BlockSize * int64(c.Assoc)) }
+
+// Config describes a whole hierarchy.
+type Config struct {
+	Levels []LevelConfig
+	// MemLatency is charged when an access misses every level.
+	MemLatency int64
+	// PrefetchIssue is the cycle cost of issuing one software
+	// prefetch instruction (default 1 when zero).
+	PrefetchIssue int64
+	// HWPrefetch enables a miss-triggered sequential next-block
+	// hardware prefetcher at the last level: a demand miss
+	// prefetches the following block. This conservative scheme
+	// stands in for the paper's hardware prefetching baseline,
+	// which — like all sequential prefetchers — is of limited use
+	// to pointer-chasing programs (§1); see DESIGN.md §1.
+	HWPrefetch bool
+	// TLB models a fully-associative, LRU data TLB when Entries is
+	// positive. The paper's placement techniques explicitly trade
+	// on page locality ("putting the items on the same page is
+	// likely to reduce the program's working set, and improve TLB
+	// performance", §3.2.1), and §5.4 credits TLB effects for part
+	// of the measured speedup its cache-only model misses.
+	TLB TLBConfig
+	// ROBLead caps how many cycles of miss latency a hardware
+	// (free) prefetch can hide. The paper's hardware scheme
+	// prefetches addresses of loads already in the reorder buffer,
+	// so its lead time is bounded by the ROB window — a few tens of
+	// cycles — no matter how early the address value was produced.
+	// Zero selects the default of 16 cycles.
+	ROBLead int64
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	if len(c.Levels) == 0 {
+		return fmt.Errorf("cache: config needs at least one level")
+	}
+	for _, l := range c.Levels {
+		if err := l.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.MemLatency <= 0 {
+		return fmt.Errorf("cache: memory latency must be positive")
+	}
+	return nil
+}
+
+// TLBConfig describes the data TLB. Zero Entries disables it.
+type TLBConfig struct {
+	Entries  int   // fully-associative entry count
+	PageSize int64 // bytes mapped per entry
+	Penalty  int64 // cycles per miss (software/table walk)
+}
+
+// PaperHierarchy returns the measurement machine of §4.1: a Sun
+// Ultraserver E5000 with a 16 KB direct-mapped L1 (16-byte blocks,
+// 1-cycle hits), a 1 MB direct-mapped L2 (64-byte blocks, +6 cycles),
+// a 64-cycle memory penalty, and a 64-entry data TLB over 8 KB pages
+// (the UltraSPARC-I dTLB).
+func PaperHierarchy() Config {
+	return Config{
+		Levels: []LevelConfig{
+			{Name: "L1", Size: 16 << 10, Assoc: 1, BlockSize: 16, Latency: 1},
+			{Name: "L2", Size: 1 << 20, Assoc: 1, BlockSize: 64, Latency: 6, WriteBack: true},
+		},
+		MemLatency: 64,
+		TLB:        TLBConfig{Entries: 64, PageSize: 8192, Penalty: 30},
+	}
+}
+
+// ScaledHierarchy returns the §4.1 machine with the L2 capacity scaled
+// down by factor (a power-of-two divisor) so that paper-scale
+// structure:cache ratios can be reproduced with small structures. The
+// L1 is scaled by the same factor, floored at 1 KB.
+func ScaledHierarchy(factor int64) Config {
+	c := PaperHierarchy()
+	if factor <= 1 {
+		return c
+	}
+	for i := range c.Levels {
+		s := c.Levels[i].Size / factor
+		min := c.Levels[i].BlockSize * int64(c.Levels[i].Assoc) * 4
+		if s < min {
+			s = min
+		}
+		c.Levels[i].Size = s
+	}
+	// Scale TLB reach with the caches, floored at 16 entries so a
+	// scaled machine can still hold a tree's root-to-leaf path.
+	c.TLB.Entries = int(int64(c.TLB.Entries) / factor)
+	if c.TLB.Entries < 16 {
+		c.TLB.Entries = 16
+	}
+	return c
+}
+
+// RSIMHierarchy returns the Table 1 simulation machine: 16 KB
+// direct-mapped L1 and 256 KB 2-way L2 with 128-byte lines, 1-cycle L1
+// hits, 9-cycle L1 misses, and a 60-cycle L2 miss penalty.
+func RSIMHierarchy() Config {
+	return Config{
+		Levels: []LevelConfig{
+			{Name: "L1", Size: 16 << 10, Assoc: 1, BlockSize: 128, Latency: 1},
+			{Name: "L2", Size: 256 << 10, Assoc: 2, BlockSize: 128, Latency: 8, WriteBack: true},
+		},
+		MemLatency: 60,
+	}
+}
+
+// line is one cache block's bookkeeping.
+type line struct {
+	valid      bool
+	tag        int64
+	dirty      bool
+	lastUse    int64 // for LRU
+	fillReady  int64 // cycle at which the fill completes
+	prefetched bool  // installed by a prefetch, not yet demand-touched
+	minStall   int64 // ROB-lead floor on the first demand touch (HW prefetch)
+}
+
+// LevelStats holds the per-level counters.
+type LevelStats struct {
+	Accesses    int64 // demand accesses (loads + stores)
+	Hits        int64
+	Misses      int64
+	Evictions   int64
+	Writebacks  int64
+	Prefetches  int64 // prefetch installs requested at this level
+	PrefetchHit int64 // demand accesses that hit a prefetched block
+	LateHits    int64 // hits that stalled on an in-flight fill
+}
+
+// MissRate returns misses/accesses, or 0 when idle.
+func (s LevelStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// level is one cache level's state.
+type level struct {
+	cfg  LevelConfig
+	sets [][]line // sets[set][way]
+}
+
+func newLevel(cfg LevelConfig) *level {
+	sets := make([][]line, cfg.Sets())
+	for i := range sets {
+		sets[i] = make([]line, cfg.Assoc)
+	}
+	return &level{cfg: cfg, sets: sets}
+}
+
+func (l *level) setAndTag(addr memsys.Addr) (int64, int64) {
+	blk := int64(addr) / l.cfg.BlockSize
+	return blk % l.cfg.Sets(), blk / l.cfg.Sets()
+}
+
+// lookup returns the way holding addr, or -1.
+func (l *level) lookup(addr memsys.Addr) (set int64, way int) {
+	set, tag := l.setAndTag(addr)
+	for w := range l.sets[set] {
+		ln := &l.sets[set][w]
+		if ln.valid && ln.tag == tag {
+			return set, w
+		}
+	}
+	return set, -1
+}
+
+// victim picks the LRU way of a set, preferring invalid ways.
+func (l *level) victim(set int64) int {
+	best := 0
+	for w := range l.sets[set] {
+		ln := &l.sets[set][w]
+		if !ln.valid {
+			return w
+		}
+		if ln.lastUse < l.sets[set][best].lastUse {
+			best = w
+		}
+	}
+	return best
+}
+
+// Stats aggregates the whole hierarchy's counters.
+type Stats struct {
+	Levels []LevelStats
+	// TLB counters (zero when the TLB is disabled).
+	TLBAccesses int64
+	TLBMisses   int64
+	// Cycle accounting.
+	BusyCycles      int64 // compute work, via Tick
+	L1HitCycles     int64 // the 1-cycle L1 access cost of each demand access
+	LoadStallCycles int64 // demand-load cycles beyond the L1 hit cost
+	StoreStall      int64 // demand-store cycles beyond the L1 hit cost
+	PrefetchIssue   int64 // cycles spent issuing software prefetches
+	MemAccesses     int64 // accesses that went all the way to memory
+}
+
+// TotalCycles returns the simulated execution time.
+func (s Stats) TotalCycles() int64 {
+	return s.BusyCycles + s.L1HitCycles + s.LoadStallCycles + s.StoreStall + s.PrefetchIssue
+}
+
+// Hierarchy is a multi-level cache simulator with a cycle clock.
+type Hierarchy struct {
+	cfg    Config
+	levels []*level
+	now    int64
+	stats  Stats
+
+	// TLB state: page number -> last use, bounded by cfg.TLB.Entries.
+	tlb map[int64]int64
+}
+
+// New builds a hierarchy from cfg. It panics on an invalid
+// configuration: hierarchies are constructed from trusted experiment
+// setup code, and a bad geometry is a programming error.
+func New(cfg Config) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.PrefetchIssue == 0 {
+		cfg.PrefetchIssue = 1
+	}
+	if cfg.ROBLead == 0 {
+		cfg.ROBLead = 16
+	}
+	h := &Hierarchy{cfg: cfg}
+	for _, lc := range cfg.Levels {
+		h.levels = append(h.levels, newLevel(lc))
+	}
+	if cfg.TLB.Entries > 0 {
+		if cfg.TLB.PageSize <= 0 || cfg.TLB.Penalty < 0 {
+			panic("cache: TLB needs a positive page size and non-negative penalty")
+		}
+		h.tlb = make(map[int64]int64, cfg.TLB.Entries)
+	}
+	h.stats.Levels = make([]LevelStats, len(cfg.Levels))
+	return h
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Level returns the configuration of level i (0 = L1).
+func (h *Hierarchy) Level(i int) LevelConfig { return h.cfg.Levels[i] }
+
+// LastLevel returns the configuration of the last cache level, the
+// one ccmalloc and ccmorph target (paper §3.2.1: "ccmalloc focuses
+// only on L2 cache blocks").
+func (h *Hierarchy) LastLevel() LevelConfig { return h.cfg.Levels[len(h.cfg.Levels)-1] }
+
+// Now returns the current simulated cycle.
+func (h *Hierarchy) Now() int64 { return h.now }
+
+// Stats returns a copy of the accumulated counters.
+func (h *Hierarchy) Stats() Stats {
+	s := h.stats
+	s.Levels = append([]LevelStats(nil), h.stats.Levels...)
+	return s
+}
+
+// ResetStats zeroes the counters without touching cache contents.
+// Experiments use it to discard cold-start transients, mirroring the
+// paper's steady-state analysis (§5.1).
+func (h *Hierarchy) ResetStats() {
+	h.stats = Stats{Levels: make([]LevelStats, len(h.cfg.Levels))}
+}
+
+// Flush invalidates every block in every level and clears the TLB.
+func (h *Hierarchy) Flush() {
+	if h.tlb != nil {
+		h.tlb = make(map[int64]int64, h.cfg.TLB.Entries)
+	}
+	for _, l := range h.levels {
+		for s := range l.sets {
+			for w := range l.sets[s] {
+				l.sets[s][w] = line{}
+			}
+		}
+	}
+}
+
+// Tick charges n cycles of compute (busy) time. Busy time can hide
+// in-flight prefetch latency: a block prefetched 100 cycles of work
+// ago is ready when the demand access finally arrives.
+func (h *Hierarchy) Tick(n int64) {
+	if n < 0 {
+		panic("cache: Tick with negative cycles")
+	}
+	h.now += n
+	h.stats.BusyCycles += n
+}
+
+// blocksCovering yields the block-aligned addresses (at granularity of
+// the smallest block size) covering [addr, addr+size).
+func (h *Hierarchy) blocksCovering(addr memsys.Addr, size int64) []memsys.Addr {
+	b := h.cfg.Levels[0].BlockSize
+	first := int64(addr) / b
+	last := (int64(addr) + size - 1) / b
+	if first == last {
+		return []memsys.Addr{addr}
+	}
+	out := make([]memsys.Addr, 0, last-first+1)
+	for blk := first; blk <= last; blk++ {
+		out = append(out, memsys.Addr(blk*b))
+	}
+	return out
+}
+
+// Access simulates a demand access of size bytes at addr and returns
+// the total cycles it cost (including the L1 hit cycle). The clock
+// advances by the returned amount.
+func (h *Hierarchy) Access(addr memsys.Addr, size int64, kind AccessKind) int64 {
+	if kind == PrefetchRead {
+		return h.Prefetch(addr)
+	}
+	if size <= 0 {
+		panic("cache: Access with non-positive size")
+	}
+	var total int64
+	for _, a := range h.blocksCovering(addr, size) {
+		total += h.accessOne(a, kind)
+	}
+	return total
+}
+
+// tlbCharge consults the TLB for addr's page, returning the added
+// translation latency.
+func (h *Hierarchy) tlbCharge(addr memsys.Addr) int64 {
+	if h.tlb == nil {
+		return 0
+	}
+	h.stats.TLBAccesses++
+	page := int64(addr) / h.cfg.TLB.PageSize
+	if _, ok := h.tlb[page]; ok {
+		h.tlb[page] = h.now
+		return 0
+	}
+	h.stats.TLBMisses++
+	if len(h.tlb) >= h.cfg.TLB.Entries {
+		victim, oldest := int64(-1), int64(1<<62)
+		for p, t := range h.tlb {
+			if t < oldest {
+				victim, oldest = p, t
+			}
+		}
+		delete(h.tlb, victim)
+	}
+	h.tlb[page] = h.now
+	return h.cfg.TLB.Penalty
+}
+
+// accessOne handles a demand access contained in a single L1 block.
+func (h *Hierarchy) accessOne(addr memsys.Addr, kind AccessKind) int64 {
+	latency := h.tlbCharge(addr)
+	hitLevel := -1
+	var stallUntil int64
+
+	for i, l := range h.levels {
+		h.stats.Levels[i].Accesses++
+		latency += l.cfg.Latency
+		set, way := l.lookup(addr)
+		if way >= 0 {
+			ln := &l.sets[set][way]
+			h.stats.Levels[i].Hits++
+			if ln.prefetched {
+				h.stats.Levels[i].PrefetchHit++
+				ln.prefetched = false
+				if ln.minStall > 0 {
+					// Hardware prefetch: at best, the fill began a
+					// ROB-window before this use.
+					stallUntil = h.now + ln.minStall
+					ln.minStall = 0
+				}
+			}
+			if ln.fillReady > h.now && ln.fillReady > stallUntil {
+				stallUntil = ln.fillReady
+				h.stats.Levels[i].LateHits++
+			}
+			ln.lastUse = h.now
+			if kind == Store && l.cfg.WriteBack {
+				ln.dirty = true
+			}
+			hitLevel = i
+			break
+		}
+		h.stats.Levels[i].Misses++
+	}
+
+	if hitLevel == -1 {
+		latency += h.cfg.MemLatency
+		h.stats.MemAccesses++
+		if h.cfg.HWPrefetch {
+			h.prefetchInto(addr.Add(h.LastLevel().BlockSize), h.now+latency)
+		}
+	}
+
+	// Extra stall for an in-flight fill (late prefetch).
+	if stallUntil > h.now+latency {
+		latency = stallUntil - h.now
+	}
+
+	// Install the block in every level above the hit level
+	// (inclusive hierarchy); fills complete when the access does.
+	h.install(addr, hitLevel, h.now+latency, kind, false)
+
+	// Attribute cycles: 1 L1-hit cycle per access, remainder is stall.
+	l1 := h.cfg.Levels[0].Latency
+	if latency < l1 {
+		latency = l1
+	}
+	h.stats.L1HitCycles += l1
+	if kind == Store {
+		h.stats.StoreStall += latency - l1
+	} else {
+		h.stats.LoadStallCycles += latency - l1
+	}
+	h.now += latency
+	return latency
+}
+
+// install places addr's block into levels [0, belowLevel) — or all
+// levels when belowLevel is -1 — evicting LRU victims.
+func (h *Hierarchy) install(addr memsys.Addr, hitLevel int, ready int64, kind AccessKind, prefetched bool) {
+	top := hitLevel
+	if top == -1 {
+		top = len(h.levels)
+	}
+	for i := 0; i < top; i++ {
+		l := h.levels[i]
+		set, tag := l.setAndTag(addr)
+		w := l.victim(set)
+		ln := &l.sets[set][w]
+		if ln.valid {
+			h.stats.Levels[i].Evictions++
+			if ln.dirty {
+				h.stats.Levels[i].Writebacks++
+			}
+		}
+		*ln = line{
+			valid:      true,
+			tag:        tag,
+			lastUse:    h.now,
+			fillReady:  ready,
+			dirty:      kind == Store && l.cfg.WriteBack,
+			prefetched: prefetched,
+		}
+	}
+}
+
+// Prefetch issues a non-binding prefetch for addr's block. It charges
+// only the issue cost; the fill proceeds in the background and
+// completes after the full miss latency. Returns the cycles charged.
+func (h *Hierarchy) Prefetch(addr memsys.Addr) int64 {
+	return h.prefetch(addr, h.cfg.PrefetchIssue)
+}
+
+// PrefetchFree is Prefetch at zero issue cost for hardware-initiated
+// prefetches (the machine's pointer-prefetch baseline). Unlike
+// software prefetches, its latency coverage is capped by the ROB
+// lead (Config.ROBLead).
+func (h *Hierarchy) PrefetchFree(addr memsys.Addr) { h.prefetchCapped(addr, 0, true) }
+
+func (h *Hierarchy) prefetch(addr memsys.Addr, cost int64) int64 {
+	return h.prefetchCapped(addr, cost, false)
+}
+
+func (h *Hierarchy) prefetchCapped(addr memsys.Addr, cost int64, robCapped bool) int64 {
+	h.stats.PrefetchIssue += cost
+	h.now += cost
+
+	// Prefetches that miss the TLB are dropped, as real hardware
+	// drops them rather than taking a translation fault.
+	if h.tlb != nil {
+		if _, ok := h.tlb[int64(addr)/h.cfg.TLB.PageSize]; !ok {
+			return cost
+		}
+	}
+
+	// A prefetch that hits everywhere is free beyond issue cost.
+	if _, way := h.levels[0].lookup(addr); way >= 0 {
+		return cost
+	}
+	hitLevel := -1
+	lat := int64(0)
+	for i, l := range h.levels {
+		lat += l.cfg.Latency
+		if _, way := l.lookup(addr); way >= 0 {
+			hitLevel = i
+			break
+		}
+	}
+	if hitLevel == -1 {
+		lat += h.cfg.MemLatency
+	}
+	for i := range h.stats.Levels {
+		if hitLevel == -1 || i < hitLevel {
+			h.stats.Levels[i].Prefetches++
+		}
+	}
+	h.install(addr, hitLevel, h.now+lat, Load, true)
+	if robCapped {
+		if floor := lat - h.cfg.ROBLead; floor > 0 {
+			h.setMinStall(addr, hitLevel, floor)
+		}
+	}
+	return cost
+}
+
+// setMinStall stamps the ROB-lead floor on the freshly installed
+// copies of addr's block.
+func (h *Hierarchy) setMinStall(addr memsys.Addr, hitLevel int, floor int64) {
+	top := hitLevel
+	if top == -1 {
+		top = len(h.levels)
+	}
+	for i := 0; i < top; i++ {
+		l := h.levels[i]
+		if set, way := l.lookup(addr); way >= 0 {
+			l.sets[set][way].minStall = floor
+		}
+	}
+}
+
+// prefetchInto is the hardware prefetcher's install path: no issue
+// cost is charged to the program.
+func (h *Hierarchy) prefetchInto(addr memsys.Addr, ready int64) {
+	last := len(h.levels) - 1
+	l := h.levels[last]
+	if _, way := l.lookup(addr); way >= 0 {
+		return
+	}
+	h.stats.Levels[last].Prefetches++
+	set, tag := l.setAndTag(addr)
+	w := l.victim(set)
+	ln := &l.sets[set][w]
+	if ln.valid {
+		h.stats.Levels[last].Evictions++
+		if ln.dirty {
+			h.stats.Levels[last].Writebacks++
+		}
+	}
+	*ln = line{valid: true, tag: tag, lastUse: h.now, fillReady: ready, prefetched: true}
+}
+
+// Contains reports whether addr's block is resident at level i.
+// Tests use it to assert placement effects.
+func (h *Hierarchy) Contains(i int, addr memsys.Addr) bool {
+	_, way := h.levels[i].lookup(addr)
+	return way >= 0
+}

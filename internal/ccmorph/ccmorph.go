@@ -1,0 +1,386 @@
+// Package ccmorph implements the paper's transparent, semantics-
+// preserving tree reorganizer (§3.1).
+//
+// Given a pointer to the root of a tree-like structure (homogeneous
+// elements, no external pointers into the middle; parent pointers are
+// allowed), a traversal function, and the cache parameters, ccmorph
+// copies the structure into a fresh region of the simulated address
+// space applying two placement techniques:
+//
+//   - subtree clustering (§2.1): subtrees of k = floor(b/e) nodes are
+//     packed into individual cache blocks, laid out linearly, so one
+//     block transfer brings in log2(k+1) nodes of any root-to-leaf
+//     path instead of 1;
+//   - coloring (§2.2): the root-most nodes — the ones every search
+//     touches — are placed at addresses mapping to a reserved region
+//     of the cache where neither cold nodes nor each other can evict
+//     them.
+//
+// Reorganization is meant for read-mostly structures: it runs between
+// the build and use phases, and can be re-invoked periodically for
+// slowly-changing structures (the paper's health benchmark does
+// exactly that).
+package ccmorph
+
+import (
+	"fmt"
+
+	"ccl/internal/cache"
+	"ccl/internal/layout"
+	"ccl/internal/machine"
+	"ccl/internal/memsys"
+)
+
+// Layout is the structure-type "template" a caller supplies (§3.1.1's
+// templatized ccmorph plus the next_node function of Figure 3).
+// Accessors receive the machine so every pointer they read or write
+// is charged to the simulated cache: reorganization cost is real and
+// included in measurements, as it was in the paper's RADIANCE result.
+type Layout struct {
+	// NodeSize is the element size e in bytes.
+	NodeSize int64
+	// MaxKids is the maximum child count (2 for binary trees, 4 for
+	// quadtrees, 1 for lists).
+	MaxKids int
+	// Kid returns node's i-th child pointer, i in [1, MaxKids],
+	// or NilAddr.
+	Kid func(m *machine.Machine, node memsys.Addr, i int) memsys.Addr
+	// SetKid overwrites node's i-th child pointer.
+	SetKid func(m *machine.Machine, node memsys.Addr, i int, kid memsys.Addr)
+	// HasParent declares that elements carry a parent (or
+	// predecessor) pointer, which ccmorph must also rewrite. When
+	// true, SetParent must be non-nil.
+	HasParent bool
+	// SetParent overwrites node's parent pointer.
+	SetParent func(m *machine.Machine, node memsys.Addr, parent memsys.Addr)
+}
+
+func (l Layout) validate() error {
+	if l.NodeSize <= 0 {
+		return fmt.Errorf("ccmorph: node size must be positive")
+	}
+	if l.MaxKids < 1 {
+		return fmt.Errorf("ccmorph: MaxKids must be at least 1")
+	}
+	if l.Kid == nil || l.SetKid == nil {
+		return fmt.Errorf("ccmorph: Kid and SetKid are required")
+	}
+	if l.HasParent && l.SetParent == nil {
+		return fmt.Errorf("ccmorph: HasParent requires SetParent")
+	}
+	return nil
+}
+
+// Config carries the cache parameters of the paper's ccmorph call
+// (Figure 3: Cache_sets, Cache_associativity, Cache_blk_size,
+// Color_const).
+type Config struct {
+	// Geometry of the cache level placement targets (normally L2).
+	Geometry layout.Geometry
+	// ColorFrac is the fraction of cache sets reserved for the
+	// structure's hottest elements — the paper's Color_const. Zero
+	// disables coloring (clustering only).
+	ColorFrac float64
+}
+
+// Stats reports what a reorganization did.
+type Stats struct {
+	Nodes       int64 // elements moved
+	Clusters    int64 // cache blocks used
+	HotClusters int64 // clusters placed in the colored hot region
+	NodesPerBlk int64 // k
+	NewBytes    int64 // bytes claimed for the new layout
+}
+
+// Placer is a reusable placement context: the pair of colored segment
+// allocators (or the uncolored block bump) plus the remaining hot
+// budget. A one-shot Reorganize creates its own; callers morphing
+// many structures against the same cache — like health's periodic
+// per-list reorganization — share one Placer so the structures do not
+// all claim the same hot cache region and conflict.
+type Placer struct {
+	geo     layout.Geometry
+	hot     *layout.SegmentAllocator
+	cold    *layout.SegmentAllocator
+	bump    *layout.BlockBump
+	hotLeft int64
+
+	cur    memsys.Addr // block currently being packed
+	used   int64       // bytes used in cur
+	curHot bool
+}
+
+// NewPlacer builds a placement context for cfg over arena.
+func NewPlacer(arena *memsys.Arena, cfg Config) *Placer {
+	p := &Placer{geo: cfg.Geometry}
+	if cfg.ColorFrac > 0 {
+		col := layout.NewColoring(cfg.Geometry, cfg.ColorFrac)
+		p.hotLeft = col.HotSets * int64(col.Assoc)
+		p.hot = layout.NewSegmentAllocator(arena, col, true)
+		p.cold = layout.NewSegmentAllocator(arena, col, false)
+	} else {
+		p.bump = layout.NewBlockBump(arena, cfg.Geometry.BlockSize)
+	}
+	return p
+}
+
+// place returns space for one cluster of size bytes (size must not
+// exceed the block size). Clusters are packed densely — "laid out
+// linearly" as in Figure 1 — starting a fresh cache block only when
+// the cluster would straddle a block boundary, so short lists and
+// leaf clusters share blocks instead of wasting them. The bool
+// reports whether the space is in the colored hot region.
+func (p *Placer) place(size int64) (memsys.Addr, bool) {
+	if size > p.geo.BlockSize {
+		panic(fmt.Sprintf("ccmorph: cluster of %d bytes exceeds block size %d", size, p.geo.BlockSize))
+	}
+	if p.cur.IsNil() || p.used+size > p.geo.BlockSize {
+		p.cur, p.curHot = p.newBlock()
+		p.used = 0
+	}
+	a := p.cur.Add(p.used)
+	p.used += size
+	return a, p.curHot
+}
+
+// newBlock claims the next cache block: hot while the colored budget
+// lasts, then cold (or from the plain bump when coloring is off).
+func (p *Placer) newBlock() (memsys.Addr, bool) {
+	switch {
+	case p.bump != nil:
+		return p.bump.Alloc(), false
+	case p.hotLeft > 0:
+		p.hotLeft--
+		return p.hot.Alloc(p.geo.BlockSize), true
+	default:
+		return p.cold.Alloc(p.geo.BlockSize), false
+	}
+}
+
+// Claimed returns the arena bytes the placer has claimed so far.
+func (p *Placer) Claimed() int64 {
+	if p.bump != nil {
+		return p.bump.Claimed()
+	}
+	return p.hot.Claimed() + p.cold.Claimed()
+}
+
+// ClusterCost is the busy-cycle charge per element for ccmorph's
+// host-side bookkeeping (queueing, relocation-map maintenance).
+const ClusterCost = 6
+
+// Reorganize copies the tree rooted at root into a cache-conscious
+// layout and returns the new root and placement statistics. freeOld,
+// if non-nil, is called on every old element after its replacement is
+// wired up, so the caller's allocator can reclaim the space.
+//
+// Reorganize panics if the traversal revisits an element (the
+// structure is not tree-like): per §3.1.1 the programmer guarantees
+// safety, and a cyclic structure is a contract violation best caught
+// loudly.
+func Reorganize(m *machine.Machine, root memsys.Addr, lay Layout, cfg Config,
+	freeOld func(memsys.Addr)) (memsys.Addr, Stats) {
+	return ReorganizeWith(m, root, lay, NewPlacer(m.Arena, cfg), freeOld)
+}
+
+// snapNode is the host-side record of one element taken during the
+// snapshot pass.
+type snapNode struct {
+	old    memsys.Addr
+	buf    []byte        // element bytes
+	kidA   []memsys.Addr // child addresses (old layout)
+	kids   []int         // child snapshot indices (-1 = nil)
+	parent int           // snapshot index of parent (-1 for root)
+	depth  int
+}
+
+// ReorganizeWith is Reorganize with a caller-supplied (shareable)
+// placement context.
+//
+// The implementation makes one read pass over the old structure in
+// preorder (sequential on depth-first layouts, no worse than any
+// order on scattered ones), computes the subtree clustering and
+// coloring assignment host-side, then makes one write pass in the
+// new layout's order — mirroring how the real ccmorph copies a
+// structure into contiguous blocks without thrashing the cache it is
+// trying to help.
+func ReorganizeWith(m *machine.Machine, root memsys.Addr, lay Layout, placer *Placer,
+	freeOld func(memsys.Addr)) (memsys.Addr, Stats) {
+
+	if err := lay.validate(); err != nil {
+		panic(err)
+	}
+	if root.IsNil() {
+		return memsys.NilAddr, Stats{}
+	}
+	claimedBefore := placer.Claimed()
+
+	// Phase 1: snapshot the structure in preorder.
+	nodes := snapshot(m, root, lay)
+
+	// Phase 2: subtree clustering, host-side.
+	k := placer.geo.NodesPerBlock(lay.NodeSize)
+	m.Tick(ClusterCost * int64(len(nodes)))
+	clusters := clusterize(nodes, lay.MaxKids, k)
+
+	stats := Stats{
+		Nodes:       int64(len(nodes)),
+		Clusters:    int64(len(clusters)),
+		NodesPerBlk: k,
+	}
+
+	// Phase 3a: place clusters and build the relocation map.
+	newAddr := make([]memsys.Addr, len(nodes))
+	for _, c := range clusters {
+		base, hot := placer.place(int64(len(c)) * lay.NodeSize)
+		if hot {
+			stats.HotClusters++
+		}
+		for ni, idx := range c {
+			newAddr[idx] = base.Add(int64(ni) * lay.NodeSize)
+		}
+	}
+
+	// Phase 3b: write every element at its new home and rewire its
+	// pointers (child links, and its own parent link if present).
+	for _, c := range clusters {
+		for _, idx := range c {
+			nd := &nodes[idx]
+			dst := newAddr[idx]
+			m.Cache.Access(dst, lay.NodeSize, cache.Store)
+			m.Arena.WriteBytes(dst, nd.buf)
+			for i := 1; i <= lay.MaxKids; i++ {
+				kid := nd.kids[i-1]
+				if kid < 0 {
+					continue
+				}
+				lay.SetKid(m, dst, i, newAddr[kid])
+			}
+			if lay.HasParent {
+				pa := memsys.NilAddr
+				if nd.parent >= 0 {
+					pa = newAddr[nd.parent]
+				}
+				lay.SetParent(m, dst, pa)
+			}
+		}
+	}
+
+	if freeOld != nil {
+		for i := range nodes {
+			freeOld(nodes[i].old)
+		}
+	}
+
+	stats.NewBytes = placer.Claimed() - claimedBefore
+	return newAddr[0], stats
+}
+
+// snapshot reads the structure once, in preorder, into host-side
+// records, charging the cache for each element read. It panics if an
+// element is reachable twice.
+func snapshot(m *machine.Machine, root memsys.Addr, lay Layout) []snapNode {
+	index := make(map[memsys.Addr]int)
+	var nodes []snapNode
+
+	type frame struct {
+		addr   memsys.Addr
+		parent int
+		depth  int
+	}
+	stack := []frame{{root, -1, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, dup := index[f.addr]; dup {
+			panic(fmt.Sprintf("ccmorph: element %v reachable twice; structure is not tree-like", f.addr))
+		}
+		idx := len(nodes)
+		index[f.addr] = idx
+
+		m.Cache.Access(f.addr, lay.NodeSize, cache.Load)
+		nd := snapNode{
+			old:    f.addr,
+			buf:    m.Arena.ReadBytes(f.addr, lay.NodeSize),
+			kidA:   make([]memsys.Addr, lay.MaxKids),
+			kids:   make([]int, lay.MaxKids),
+			parent: f.parent,
+			depth:  f.depth,
+		}
+		for i := 1; i <= lay.MaxKids; i++ {
+			nd.kidA[i-1] = lay.Kid(m, f.addr, i)
+		}
+		nodes = append(nodes, nd)
+		// Push children in reverse so the leftmost is visited next
+		// (preorder).
+		for i := lay.MaxKids; i >= 1; i-- {
+			if kid := nd.kidA[i-1]; !kid.IsNil() {
+				stack = append(stack, frame{kid, idx, f.depth + 1})
+			}
+		}
+	}
+
+	// Resolve child addresses to snapshot indices.
+	for i := range nodes {
+		for j, a := range nodes[i].kidA {
+			if a.IsNil() {
+				nodes[i].kids[j] = -1
+				continue
+			}
+			idx, ok := index[a]
+			if !ok {
+				panic(fmt.Sprintf("ccmorph: child %v of %v was not visited; external structure?", a, nodes[i].old))
+			}
+			nodes[i].kids[j] = idx
+		}
+	}
+	return nodes
+}
+
+// clusterize partitions the snapshot into subtree clusters of at most
+// k elements (Figure 1). Cluster roots are processed in strict depth
+// order, so clusters emerge in level order: the first clusters hold
+// the root-most — and under random search, hottest — elements, which
+// coloring then pins in the reserved cache region.
+func clusterize(nodes []snapNode, maxKids int, k int64) [][]int {
+	var clusters [][]int
+
+	// Bucket queue by depth. Cluster roots are only ever pushed at
+	// depths >= the depth currently being drained, so an advancing
+	// cursor yields exact level order.
+	buckets := [][]int{{0}}
+	push := func(idx int) {
+		d := nodes[idx].depth
+		for len(buckets) <= d {
+			buckets = append(buckets, nil)
+		}
+		buckets[d] = append(buckets[d], idx)
+	}
+
+	for d := 0; d < len(buckets); d++ {
+		for len(buckets[d]) > 0 {
+			croot := buckets[d][0]
+			buckets[d] = buckets[d][1:]
+
+			// Level-order fill of this cluster from croot's subtree.
+			var c []int
+			frontier := []int{croot}
+			for len(frontier) > 0 && int64(len(c)) < k {
+				n := frontier[0]
+				frontier = frontier[1:]
+				c = append(c, n)
+				for i := 0; i < maxKids; i++ {
+					if kid := nodes[n].kids[i]; kid >= 0 {
+						frontier = append(frontier, kid)
+					}
+				}
+			}
+			// Unplaced frontier nodes root later clusters.
+			for _, idx := range frontier {
+				push(idx)
+			}
+			clusters = append(clusters, c)
+		}
+	}
+	return clusters
+}

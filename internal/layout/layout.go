@@ -1,0 +1,259 @@
+// Package layout holds the placement arithmetic shared by ccmorph,
+// ccmalloc, and the cache-conscious tree implementations: mapping
+// addresses to cache sets, carving a colored virtual address space
+// (paper §2.2, Figure 2), and computing subtree-clustering parameters
+// (paper §2.1, §5.3).
+package layout
+
+import (
+	"fmt"
+
+	"ccl/internal/cache"
+	"ccl/internal/memsys"
+)
+
+// Geometry describes the cache level that placement targets —
+// normally the last-level (L2) cache, per §3.2.1.
+type Geometry struct {
+	Sets      int64
+	Assoc     int
+	BlockSize int64
+}
+
+// FromLevel extracts placement geometry from a cache level config.
+func FromLevel(lc cache.LevelConfig) Geometry {
+	return Geometry{Sets: lc.Sets(), Assoc: lc.Assoc, BlockSize: lc.BlockSize}
+}
+
+// Capacity returns the level's capacity in bytes.
+func (g Geometry) Capacity() int64 { return g.Sets * int64(g.Assoc) * g.BlockSize }
+
+// SetOf returns the cache set that addr maps to.
+func (g Geometry) SetOf(addr memsys.Addr) int64 {
+	return (int64(addr) / g.BlockSize) % g.Sets
+}
+
+// BlockAlign rounds addr down to its block boundary.
+func (g Geometry) BlockAlign(addr memsys.Addr) memsys.Addr {
+	return memsys.Addr(int64(addr) &^ (g.BlockSize - 1))
+}
+
+// NodesPerBlock returns k = floor(b/e), the number of structure
+// elements of size elem that fit in one cache block (paper §5.3).
+func (g Geometry) NodesPerBlock(elem int64) int64 {
+	if elem <= 0 {
+		panic("layout: element size must be positive")
+	}
+	k := g.BlockSize / elem
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Coloring describes a two-color partition of the cache: the first
+// HotSets sets hold frequently-accessed elements, the remaining sets
+// hold everything else (paper Figure 2).
+type Coloring struct {
+	Geometry
+	HotSets int64
+}
+
+// NewColoring partitions geometry g with fraction frac of the sets
+// (0 < frac < 1) reserved for hot elements. The paper's experiments
+// use one half (§5.4: "half the L2 cache capacity ... colored into a
+// unique portion").
+func NewColoring(g Geometry, frac float64) Coloring {
+	if frac <= 0 || frac >= 1 {
+		panic(fmt.Sprintf("layout: coloring fraction %v out of (0,1)", frac))
+	}
+	hot := int64(float64(g.Sets) * frac)
+	if hot < 1 {
+		hot = 1
+	}
+	if hot >= g.Sets {
+		hot = g.Sets - 1
+	}
+	return Coloring{Geometry: g, HotSets: hot}
+}
+
+// HotCapacityNodes returns how many elements of size elem the hot
+// region can hold without self-conflict: p sets x assoc ways x k
+// nodes per block — the paper's (c/2 x |_b/e_| x a) with p = c/2.
+func (c Coloring) HotCapacityNodes(elem int64) int64 {
+	return c.HotSets * int64(c.Assoc) * c.NodesPerBlock(elem)
+}
+
+// IsHot reports whether addr falls in the hot cache region.
+func (c Coloring) IsHot(addr memsys.Addr) bool { return c.SetOf(addr) < c.HotSets }
+
+// wayPeriod returns the number of bytes after which the set mapping
+// repeats: sets x block size.
+func (c Coloring) wayPeriod() int64 { return c.Sets * c.BlockSize }
+
+// SegmentAllocator hands out block-aligned extents restricted to one
+// color region. It implements the address-space striping of Figure 2:
+// within every way-period of the address space, bytes mapping to
+// [0, HotSets) sets belong to the hot allocator and the rest to the
+// cold allocator; each allocator skips the other's stripes.
+type SegmentAllocator struct {
+	coloring Coloring
+	hot      bool
+	arena    *memsys.Arena
+	next     memsys.Addr // next candidate address (block aligned)
+	limit    memsys.Addr // end of the arena extent we own
+	claimed  int64       // bytes of arena claimed (footprint)
+}
+
+// NewSegmentAllocator returns an allocator for the hot or cold color
+// region over arena. The cache's way period (sets x block size) must
+// be a power of two — true of every real geometry this repo models —
+// so that extents can be aligned to period boundaries.
+func NewSegmentAllocator(arena *memsys.Arena, c Coloring, hot bool) *SegmentAllocator {
+	if p := c.wayPeriod(); p&(p-1) != 0 {
+		panic(fmt.Sprintf("layout: way period %d is not a power of two", p))
+	}
+	return &SegmentAllocator{coloring: c, hot: hot, arena: arena}
+}
+
+// Claimed returns the arena bytes claimed so far.
+func (s *SegmentAllocator) Claimed() int64 { return s.claimed }
+
+// inRegion reports whether a block starting at addr lies wholly in
+// this allocator's color region.
+func (s *SegmentAllocator) inRegion(addr memsys.Addr) bool {
+	set := s.coloring.SetOf(addr)
+	if s.hot {
+		return set < s.coloring.HotSets
+	}
+	return set >= s.coloring.HotSets
+}
+
+// skipToRegion advances addr (block-aligned) to the next block in the
+// allocator's region.
+func (s *SegmentAllocator) skipToRegion(addr memsys.Addr) memsys.Addr {
+	c := s.coloring
+	set := c.SetOf(addr)
+	if s.hot {
+		if set < c.HotSets {
+			return addr
+		}
+		// Jump to set 0 of the next way period.
+		period := c.wayPeriod()
+		return memsys.Addr(((int64(addr) / period) + 1) * period)
+	}
+	if set >= c.HotSets {
+		return addr
+	}
+	// Jump to the first cold set of this period.
+	periodStart := (int64(addr) / c.wayPeriod()) * c.wayPeriod()
+	return memsys.Addr(periodStart + c.HotSets*c.BlockSize)
+}
+
+// Alloc returns a block-aligned extent of n bytes lying entirely in
+// the allocator's color region. n must not exceed the contiguous run
+// length of the region (HotSets*BlockSize or (Sets-HotSets)*Block).
+func (s *SegmentAllocator) Alloc(n int64) memsys.Addr {
+	if n <= 0 {
+		panic("layout: SegmentAllocator.Alloc with non-positive size")
+	}
+	c := s.coloring
+	runLen := c.HotSets * c.BlockSize
+	if !s.hot {
+		runLen = (c.Sets - c.HotSets) * c.BlockSize
+	}
+	if n > runLen {
+		panic(fmt.Sprintf("layout: extent of %d bytes exceeds %d-byte color run", n, runLen))
+	}
+	for {
+		if s.limit.IsNil() {
+			s.grow(n)
+		}
+		p := s.skipToRegion(s.next)
+		if p.Add(n) > s.limit {
+			s.grow(n)
+			continue
+		}
+		last := c.BlockAlign(p.Add(n - 1))
+		if s.inRegion(last) {
+			s.next = memsys.Addr(alignUp(int64(p)+n, c.BlockSize))
+			return p
+		}
+		// Extent straddles out of the color run: jump to the start
+		// of the next run and retry (n <= runLen guarantees a fit).
+		s.next = s.skipToRegion(last.Add(c.BlockSize))
+	}
+}
+
+func alignUp(n, a int64) int64 { return (n + a - 1) &^ (a - 1) }
+
+// grow claims more arena, starting on a way-period boundary so the
+// color stripes of Figure 2 line up — the paper's requirement that
+// coloring gaps be multiples of the VM page size falls out of this
+// alignment for all modeled geometries.
+func (s *SegmentAllocator) grow(n int64) {
+	period := s.coloring.wayPeriod()
+	start := s.arena.AlignBrk(period)
+	s.arena.Sbrk(n + period) // at least one full period of slack
+	end := s.arena.Brk()
+	s.claimed += int64(end) - int64(start)
+	s.next = start
+	s.limit = end
+}
+
+// BlockBump hands out consecutive block-aligned cache blocks from
+// contiguous arena extents. It is the uncolored counterpart of
+// SegmentAllocator, used when clustering is wanted without coloring.
+type BlockBump struct {
+	arena     *memsys.Arena
+	blockSize int64
+	next      memsys.Addr
+	limit     memsys.Addr
+	claimed   int64
+}
+
+// NewBlockBump returns a block-granular bump allocator over arena.
+func NewBlockBump(arena *memsys.Arena, blockSize int64) *BlockBump {
+	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
+		panic(fmt.Sprintf("layout: block size %d must be a positive power of two", blockSize))
+	}
+	return &BlockBump{arena: arena, blockSize: blockSize}
+}
+
+// Claimed returns the arena bytes claimed so far.
+func (b *BlockBump) Claimed() int64 { return b.claimed }
+
+// Alloc returns the next block-aligned cache block.
+func (b *BlockBump) Alloc() memsys.Addr {
+	if b.next.IsNil() || b.next.Add(b.blockSize) > b.limit {
+		start := b.arena.AlignBrk(b.blockSize)
+		b.arena.Sbrk(64 * b.blockSize)
+		b.claimed += int64(b.arena.Brk()) - int64(start)
+		b.next = start
+		b.limit = b.arena.Brk()
+	}
+	p := b.next
+	b.next = b.next.Add(b.blockSize)
+	return p
+}
+
+// SubtreeParams describes how a tree is packed into cache blocks.
+type SubtreeParams struct {
+	ElemSize      int64 // structure element size e
+	NodesPerBlock int64 // k = floor(b/e)
+	HotNodes      int64 // number of root-most nodes colored hot
+}
+
+// PlanSubtrees computes clustering and coloring parameters from the
+// cache geometry, element size, and coloring fraction — the work
+// "ccmorph determines ... from the cache parameters and structure
+// element size" (§3.1.1).
+func PlanSubtrees(g Geometry, elemSize int64, colorFrac float64) SubtreeParams {
+	k := g.NodesPerBlock(elemSize)
+	col := NewColoring(g, colorFrac)
+	return SubtreeParams{
+		ElemSize:      elemSize,
+		NodesPerBlock: k,
+		HotNodes:      col.HotCapacityNodes(elemSize),
+	}
+}

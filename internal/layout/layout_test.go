@@ -1,0 +1,290 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccl/internal/cache"
+	"ccl/internal/memsys"
+)
+
+// geom16 is an easily-reasoned geometry: 16 sets, direct-mapped,
+// 64-byte blocks (1 KB cache).
+var geom16 = Geometry{Sets: 16, Assoc: 1, BlockSize: 64}
+
+func TestFromLevel(t *testing.T) {
+	g := FromLevel(cache.PaperHierarchy().Levels[1])
+	if g.Sets != 16384 || g.Assoc != 1 || g.BlockSize != 64 {
+		t.Fatalf("FromLevel = %+v", g)
+	}
+	if g.Capacity() != 1<<20 {
+		t.Fatalf("Capacity = %d, want 1MB", g.Capacity())
+	}
+}
+
+func TestSetOfAndAlign(t *testing.T) {
+	g := geom16
+	if g.SetOf(0) != 0 || g.SetOf(64) != 1 || g.SetOf(15*64) != 15 {
+		t.Fatal("SetOf wrong within first period")
+	}
+	if g.SetOf(16*64) != 0 {
+		t.Fatal("SetOf does not wrap at way period")
+	}
+	if g.SetOf(64+63) != 1 {
+		t.Fatal("SetOf should ignore offset within block")
+	}
+	if g.BlockAlign(130) != 128 {
+		t.Fatalf("BlockAlign(130) = %v", g.BlockAlign(130))
+	}
+}
+
+func TestNodesPerBlock(t *testing.T) {
+	g := geom16
+	cases := []struct{ elem, want int64 }{
+		{20, 3}, {64, 1}, {65, 1}, {32, 2}, {1, 64}, {200, 1},
+	}
+	for _, c := range cases {
+		if got := g.NodesPerBlock(c.elem); got != c.want {
+			t.Errorf("NodesPerBlock(%d) = %d, want %d", c.elem, got, c.want)
+		}
+	}
+}
+
+func TestNodesPerBlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NodesPerBlock(0) did not panic")
+		}
+	}()
+	geom16.NodesPerBlock(0)
+}
+
+func TestNewColoring(t *testing.T) {
+	c := NewColoring(geom16, 0.5)
+	if c.HotSets != 8 {
+		t.Fatalf("HotSets = %d, want 8", c.HotSets)
+	}
+	// Extremes clamp to [1, Sets-1].
+	if NewColoring(geom16, 0.001).HotSets != 1 {
+		t.Error("tiny fraction should clamp to 1 hot set")
+	}
+	if NewColoring(geom16, 0.999).HotSets != 15 {
+		t.Error("huge fraction should clamp to Sets-1")
+	}
+	for _, frac := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewColoring(%v) did not panic", frac)
+				}
+			}()
+			NewColoring(geom16, frac)
+		}()
+	}
+}
+
+func TestHotCapacityNodes(t *testing.T) {
+	c := NewColoring(geom16, 0.5)
+	// 8 sets x 1 way x 3 nodes (20 B in 64 B blocks) = 24.
+	if got := c.HotCapacityNodes(20); got != 24 {
+		t.Fatalf("HotCapacityNodes(20) = %d, want 24", got)
+	}
+	c2 := NewColoring(Geometry{Sets: 16, Assoc: 2, BlockSize: 64}, 0.5)
+	if got := c2.HotCapacityNodes(20); got != 48 {
+		t.Fatalf("2-way HotCapacityNodes = %d, want 48", got)
+	}
+}
+
+func TestSegmentAllocatorHotStaysHot(t *testing.T) {
+	arena := memsys.NewArena(0)
+	col := NewColoring(geom16, 0.5)
+	hot := NewSegmentAllocator(arena, col, true)
+	for i := 0; i < 200; i++ {
+		p := hot.Alloc(64)
+		if !col.IsHot(p) {
+			t.Fatalf("hot alloc %d at %v maps to set %d (hot sets: %d)", i, p, col.SetOf(p), col.HotSets)
+		}
+	}
+}
+
+func TestSegmentAllocatorColdStaysCold(t *testing.T) {
+	arena := memsys.NewArena(0)
+	col := NewColoring(geom16, 0.5)
+	cold := NewSegmentAllocator(arena, col, false)
+	for i := 0; i < 200; i++ {
+		p := cold.Alloc(64)
+		if col.IsHot(p) {
+			t.Fatalf("cold alloc %d at %v maps to hot set %d", i, p, col.SetOf(p))
+		}
+	}
+}
+
+func TestSegmentAllocatorMultiBlockExtents(t *testing.T) {
+	arena := memsys.NewArena(0)
+	col := NewColoring(geom16, 0.5)
+	for _, hot := range []bool{true, false} {
+		s := NewSegmentAllocator(arena, col, hot)
+		// 8 sets x 64 B = 512 B runs on both sides of this coloring.
+		for i := 0; i < 50; i++ {
+			n := int64(64 * (1 + i%8))
+			p := s.Alloc(n)
+			if int64(p)%64 != 0 {
+				t.Fatalf("extent %v not block aligned", p)
+			}
+			for off := int64(0); off < n; off += 64 {
+				if col.IsHot(p.Add(off)) != hot {
+					t.Fatalf("hot=%v extent [%v,+%d) leaks at offset %d (set %d)",
+						hot, p, n, off, col.SetOf(p.Add(off)))
+				}
+			}
+		}
+	}
+}
+
+func TestSegmentAllocatorExtentsDisjoint(t *testing.T) {
+	arena := memsys.NewArena(0)
+	col := NewColoring(geom16, 0.25)
+	s := NewSegmentAllocator(arena, col, true)
+	type ext struct {
+		p memsys.Addr
+		n int64
+	}
+	var got []ext
+	for i := 0; i < 100; i++ {
+		n := int64(64 * (1 + i%4))
+		p := s.Alloc(n)
+		for _, e := range got {
+			if p < e.p.Add(e.n) && e.p < p.Add(n) {
+				t.Fatalf("extent [%v,+%d) overlaps [%v,+%d)", p, n, e.p, e.n)
+			}
+		}
+		got = append(got, ext{p, n})
+	}
+	if s.Claimed() <= 0 {
+		t.Fatal("Claimed should be positive after allocations")
+	}
+}
+
+func TestSegmentAllocatorOversizePanics(t *testing.T) {
+	arena := memsys.NewArena(0)
+	col := NewColoring(geom16, 0.5) // hot run = 8*64 = 512 bytes
+	s := NewSegmentAllocator(arena, col, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize extent did not panic")
+		}
+	}()
+	s.Alloc(513)
+}
+
+func TestSegmentAllocatorsShareArena(t *testing.T) {
+	arena := memsys.NewArena(0)
+	col := NewColoring(geom16, 0.5)
+	hot := NewSegmentAllocator(arena, col, true)
+	cold := NewSegmentAllocator(arena, col, false)
+	var hots, colds []memsys.Addr
+	for i := 0; i < 50; i++ {
+		hots = append(hots, hot.Alloc(64))
+		colds = append(colds, cold.Alloc(128))
+	}
+	seen := map[memsys.Addr]bool{}
+	for _, p := range hots {
+		if seen[p] {
+			t.Fatalf("duplicate extent %v", p)
+		}
+		seen[p] = true
+	}
+	for _, p := range colds {
+		if seen[p] {
+			t.Fatalf("hot/cold extents collide at %v", p)
+		}
+		if col.IsHot(p) || col.IsHot(p.Add(64)) {
+			t.Fatalf("cold extent %v touches hot sets", p)
+		}
+	}
+}
+
+func TestSegmentAllocatorQuick(t *testing.T) {
+	arena := memsys.NewArena(0)
+	col := NewColoring(Geometry{Sets: 64, Assoc: 1, BlockSize: 16}, 0.5)
+	hot := NewSegmentAllocator(arena, col, true)
+	f := func(sz uint8) bool {
+		n := int64(sz%30+1) * 16
+		p := hot.Alloc(n)
+		for off := int64(0); off < n; off += 16 {
+			if !col.IsHot(p.Add(off)) {
+				return false
+			}
+		}
+		return int64(p)%16 == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanSubtrees(t *testing.T) {
+	p := PlanSubtrees(geom16, 20, 0.5)
+	if p.NodesPerBlock != 3 {
+		t.Errorf("NodesPerBlock = %d, want 3", p.NodesPerBlock)
+	}
+	if p.HotNodes != 24 {
+		t.Errorf("HotNodes = %d, want 24", p.HotNodes)
+	}
+	// Paper-scale check (§5.4): 64-byte blocks, ~21-byte nodes,
+	// half of a 1 MB direct-mapped L2 holds 8192 sets x 3 = 24576
+	// nodes = 64 x 384.
+	g := FromLevel(cache.PaperHierarchy().Levels[1])
+	pp := PlanSubtrees(g, 20, 0.5)
+	if pp.HotNodes != 64*384 {
+		t.Errorf("paper-scale HotNodes = %d, want %d", pp.HotNodes, 64*384)
+	}
+}
+
+func TestNonPowerOfTwoPeriodPanics(t *testing.T) {
+	arena := memsys.NewArena(0)
+	col := Coloring{Geometry: Geometry{Sets: 12, Assoc: 1, BlockSize: 64}, HotSets: 4}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two period did not panic")
+		}
+	}()
+	NewSegmentAllocator(arena, col, true)
+}
+
+func TestColoredAllocatorsPartitionQuick(t *testing.T) {
+	// Property: for random colorings and allocation sizes, hot and
+	// cold extents never overlap and always land in their regions.
+	arena := memsys.NewArena(0)
+	f := func(hotFrac uint8, sizes [6]uint8) bool {
+		frac := 0.1 + 0.8*float64(hotFrac)/255
+		col := NewColoring(Geometry{Sets: 128, Assoc: 2, BlockSize: 32}, frac)
+		hot := NewSegmentAllocator(arena, col, true)
+		cold := NewSegmentAllocator(arena, col, false)
+		run := col.HotSets * col.BlockSize
+		coldRun := (col.Sets - col.HotSets) * col.BlockSize
+		for _, sz := range sizes {
+			n := (int64(sz%8) + 1) * 32
+			if n <= run {
+				p := hot.Alloc(n)
+				for off := int64(0); off < n; off += 32 {
+					if !col.IsHot(p.Add(off)) {
+						return false
+					}
+				}
+			}
+			if n <= coldRun {
+				p := cold.Alloc(n)
+				for off := int64(0); off < n; off += 32 {
+					if col.IsHot(p.Add(off)) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

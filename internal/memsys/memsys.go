@@ -1,0 +1,220 @@
+// Package memsys implements the simulated address space that every
+// structure in this repository lives in.
+//
+// The paper's techniques (ccmorph, ccmalloc) work by controlling the
+// exact addresses at which structure elements are placed. A Go program
+// cannot dictate the garbage collector's placement decisions, so this
+// package provides an explicit, byte-addressable arena: addresses are
+// plain integers, data is stored in page-granular byte buffers, and
+// the cache simulator (package cache) maps those addresses to cache
+// sets exactly as hardware would. See DESIGN.md §1.
+package memsys
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Addr is a simulated virtual address. The zero value is the nil
+// pointer: no valid allocation ever starts at address 0.
+type Addr uint64
+
+// NilAddr is the simulated null pointer.
+const NilAddr Addr = 0
+
+// IsNil reports whether a is the simulated null pointer.
+func (a Addr) IsNil() bool { return a == NilAddr }
+
+// Add returns the address offset by n bytes.
+func (a Addr) Add(n int64) Addr { return Addr(int64(a) + n) }
+
+// String formats the address in hex, the way a C programmer would
+// print a pointer.
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+// DefaultPageSize is the simulated virtual-memory page size. The
+// paper's system (Solaris on UltraSPARC) used 8 KB pages, and ccmorph
+// aligns its coloring gaps to page multiples, so the default matches.
+const DefaultPageSize = 8192
+
+// arenaBase is the first mapped address. Leaving the low page unmapped
+// makes nil-pointer dereferences detectable, as on a real OS.
+const arenaBase = DefaultPageSize
+
+// Arena is a simulated address space. It grows on demand in
+// page-granular extents and supports bounds-checked typed loads and
+// stores. Arena performs no cache accounting; package machine layers
+// that on top.
+type Arena struct {
+	pageSize int64
+	mem      []byte // backing store; index i holds address arenaBase+i
+	brk      Addr   // first unmapped address (end of the mapped region)
+}
+
+// NewArena returns an empty address space with the given page size.
+// A non-positive pageSize selects DefaultPageSize.
+func NewArena(pageSize int64) *Arena {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &Arena{pageSize: pageSize, brk: arenaBase}
+}
+
+// PageSize returns the simulated virtual-memory page size in bytes.
+func (a *Arena) PageSize() int64 { return a.pageSize }
+
+// Base returns the lowest mapped address of the arena.
+func (a *Arena) Base() Addr { return arenaBase }
+
+// Brk returns the current end of the mapped region: the next address
+// Sbrk would return.
+func (a *Arena) Brk() Addr { return a.brk }
+
+// Size returns the number of mapped bytes.
+func (a *Arena) Size() int64 { return int64(a.brk) - arenaBase }
+
+// Sbrk extends the mapped region by at least n bytes, rounded up to a
+// whole number of pages, and returns the first address of the new
+// extent. It panics if n is negative.
+func (a *Arena) Sbrk(n int64) Addr {
+	if n < 0 {
+		panic("memsys: Sbrk with negative size")
+	}
+	pages := (n + a.pageSize - 1) / a.pageSize
+	start := a.brk
+	grow := pages * a.pageSize
+	a.mem = append(a.mem, make([]byte, grow)...)
+	a.brk = a.brk.Add(grow)
+	return start
+}
+
+// AlignBrk advances the break so the next Sbrk result is aligned to
+// align bytes (a power of two), returning the aligned break. The
+// skipped bytes are wasted, exactly as an sbrk-based C allocator
+// would waste them.
+func (a *Arena) AlignBrk(align int64) Addr {
+	if align <= 0 || align&(align-1) != 0 {
+		panic("memsys: AlignBrk alignment must be a positive power of two")
+	}
+	rem := int64(a.brk) & (align - 1)
+	if rem != 0 {
+		a.Sbrk(align - rem)
+		// Sbrk rounds to pages; when align exceeds the page size the
+		// page rounding may still leave us unaligned, so repeat until
+		// the invariant holds. Each Sbrk strictly advances the break.
+		for int64(a.brk)&(align-1) != 0 {
+			a.Sbrk(1)
+		}
+	}
+	return a.brk
+}
+
+// Mapped reports whether the n bytes starting at addr are all mapped.
+func (a *Arena) Mapped(addr Addr, n int64) bool {
+	return addr >= arenaBase && n >= 0 && int64(addr)+n <= int64(a.brk)
+}
+
+// check panics with a descriptive fault when an access is out of
+// bounds. Simulated programs with placement bugs fail loudly instead
+// of corrupting unrelated structures.
+func (a *Arena) check(addr Addr, n int64) {
+	if !a.Mapped(addr, n) {
+		panic(fmt.Sprintf("memsys: fault accessing %d bytes at %v (mapped region [%v,%v))",
+			n, addr, Addr(arenaBase), a.brk))
+	}
+}
+
+func (a *Arena) slice(addr Addr, n int64) []byte {
+	a.check(addr, n)
+	off := int64(addr) - arenaBase
+	return a.mem[off : off+n]
+}
+
+// Load8 reads one byte.
+func (a *Arena) Load8(addr Addr) uint8 { return a.slice(addr, 1)[0] }
+
+// Store8 writes one byte.
+func (a *Arena) Store8(addr Addr, v uint8) { a.slice(addr, 1)[0] = v }
+
+// Load32 reads a little-endian uint32.
+func (a *Arena) Load32(addr Addr) uint32 { return binary.LittleEndian.Uint32(a.slice(addr, 4)) }
+
+// Store32 writes a little-endian uint32.
+func (a *Arena) Store32(addr Addr, v uint32) { binary.LittleEndian.PutUint32(a.slice(addr, 4), v) }
+
+// Load64 reads a little-endian uint64.
+func (a *Arena) Load64(addr Addr) uint64 { return binary.LittleEndian.Uint64(a.slice(addr, 8)) }
+
+// Store64 writes a little-endian uint64.
+func (a *Arena) Store64(addr Addr, v uint64) { binary.LittleEndian.PutUint64(a.slice(addr, 8), v) }
+
+// PtrSize is the size of a simulated pointer: 4 bytes, as on the
+// paper's 32-bit UltraSPARC. Structure element sizes — and therefore
+// k, the number of elements per cache block — depend on it.
+const PtrSize = 4
+
+// LoadAddr reads a simulated pointer (32-bit, see PtrSize).
+func (a *Arena) LoadAddr(addr Addr) Addr { return Addr(a.Load32(addr)) }
+
+// StoreAddr writes a simulated pointer. It panics if v does not fit
+// the 32-bit simulated address space.
+func (a *Arena) StoreAddr(addr Addr, v Addr) {
+	if uint64(v) > 0xFFFFFFFF {
+		panic(fmt.Sprintf("memsys: address %v exceeds the 32-bit simulated address space", v))
+	}
+	a.Store32(addr, uint32(v))
+}
+
+// LoadInt reads a little-endian int64.
+func (a *Arena) LoadInt(addr Addr) int64 { return int64(a.Load64(addr)) }
+
+// StoreInt writes a little-endian int64.
+func (a *Arena) StoreInt(addr Addr, v int64) { a.Store64(addr, uint64(v)) }
+
+// LoadFloat reads a little-endian float64.
+func (a *Arena) LoadFloat(addr Addr) float64 { return math.Float64frombits(a.Load64(addr)) }
+
+// StoreFloat writes a little-endian float64.
+func (a *Arena) StoreFloat(addr Addr, v float64) { a.Store64(addr, math.Float64bits(v)) }
+
+// Memset fills n bytes at addr with b.
+func (a *Arena) Memset(addr Addr, b byte, n int64) {
+	s := a.slice(addr, n)
+	for i := range s {
+		s[i] = b
+	}
+}
+
+// Memcpy copies n bytes from src to dst. The regions may not overlap;
+// ccmorph copies between distinct regions only.
+func (a *Arena) Memcpy(dst, src Addr, n int64) {
+	if dst == src || n == 0 {
+		return
+	}
+	if (dst < src && dst.Add(n) > src) || (src < dst && src.Add(n) > dst) {
+		panic("memsys: Memcpy with overlapping regions")
+	}
+	d := a.slice(dst, n)
+	s := a.slice(src, n)
+	copy(d, s)
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh buffer.
+func (a *Arena) ReadBytes(addr Addr, n int64) []byte {
+	out := make([]byte, n)
+	copy(out, a.slice(addr, n))
+	return out
+}
+
+// WriteBytes copies buf into the arena at addr.
+func (a *Arena) WriteBytes(addr Addr, buf []byte) {
+	copy(a.slice(addr, int64(len(buf))), buf)
+}
+
+// PageOf returns the page number containing addr.
+func (a *Arena) PageOf(addr Addr) int64 { return int64(addr) / a.pageSize }
+
+// SamePage reports whether two addresses share a virtual page, the
+// test ccmalloc uses when deciding whether a hint is still useful.
+func (a *Arena) SamePage(x, y Addr) bool { return a.PageOf(x) == a.PageOf(y) }

@@ -1,0 +1,186 @@
+// Package model implements the paper's analytic framework (§5): a
+// data-structure-centric cache model that characterizes a
+// pointer-based structure by the amortized miss rate of a sequence of
+// pointer-path accesses, and predicts the speedup of cache-conscious
+// layouts a priori.
+//
+// The framework's quantities, with the paper's names:
+//
+//	D    — average unique references per pointer-path access
+//	       (log2(n+1) for a search in a balanced binary tree);
+//	K    — average co-resident elements per cache block needed by
+//	       the access: the structure's spatial-locality function;
+//	R(i) — elements already cached from prior accesses during the
+//	       i-th access; its steady-state limit Rs is the structure's
+//	       temporal-locality function;
+//	m    — miss rate: m = (1 - R/D) / K.
+//
+// Its intended use is comparing a structure against its
+// cache-conscious counterpart, not predicting absolute performance
+// (§5 intro); EXPERIMENTS.md fig10 does exactly that comparison.
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// CacheParams are the timing parameters of the two-level hierarchy in
+// the §5.1 memory-access-time equation.
+type CacheParams struct {
+	Th   float64 // L1 access (hit) time, cycles
+	TmL1 float64 // L1 miss penalty (L2 hit adds this), cycles
+	TmL2 float64 // L2 miss penalty, cycles
+}
+
+// PaperParams returns the §4.1 machine's timing: 1-cycle L1 hits,
+// 6-cycle L1 miss penalty, 64-cycle L2 miss penalty.
+func PaperParams() CacheParams { return CacheParams{Th: 1, TmL1: 6, TmL2: 64} }
+
+// MemoryAccessTime evaluates the §5.1 equation: the expected memory
+// access time of an access pattern with the given per-level miss
+// rates and refs memory references,
+//
+//	t = (th + mL1*tmL1 + mL1*mL2*tmL2) x refs.
+func (p CacheParams) MemoryAccessTime(mL1, mL2, refs float64) float64 {
+	return (p.Th + mL1*p.TmL1 + mL1*mL2*p.TmL2) * refs
+}
+
+// Locality describes one structure + access-function pair.
+type Locality struct {
+	D  float64 // unique references per pointer-path access
+	K  float64 // spatial locality: useful elements per fetched block
+	Rs float64 // temporal locality: steady-state reused elements
+}
+
+// Validate reports whether the locality functions are coherent:
+// 1 <= K (at least the referenced element arrives per block) and
+// 0 <= Rs <= D (cannot reuse more elements than are referenced).
+func (l Locality) Validate() error {
+	if l.D <= 0 {
+		return fmt.Errorf("model: D = %v must be positive", l.D)
+	}
+	if l.K < 1 {
+		return fmt.Errorf("model: K = %v must be at least 1", l.K)
+	}
+	if l.Rs < 0 || l.Rs > l.D {
+		return fmt.Errorf("model: Rs = %v out of [0, D=%v]", l.Rs, l.D)
+	}
+	return nil
+}
+
+// NaiveLocality is the worst-case layout of §5.2: each cache block
+// holds a single useful element (K = 1) and no reuse survives between
+// accesses (Rs = 0), so every reference misses.
+func NaiveLocality(d float64) Locality { return Locality{D: d, K: 1, Rs: 0} }
+
+// MissRate returns the amortized steady-state miss rate
+//
+//	ms = (1 - Rs/D) / K
+//
+// of §5.1's final equation.
+func (l Locality) MissRate() float64 {
+	if err := l.Validate(); err != nil {
+		panic(err)
+	}
+	return (1 - l.Rs/l.D) / l.K
+}
+
+// TransientMissRate returns the miss rate of the i-th access given a
+// reuse function r(i) — the pre-steady-state form m(i) = (1-R(i)/D)/K.
+func (l Locality) TransientMissRate(r float64) float64 {
+	t := l
+	t.Rs = r
+	return t.MissRate()
+}
+
+// AmortizedMissRate returns the average of the first p transient miss
+// rates under reuse function r — the m_a(p) of §5.1.
+func (l Locality) AmortizedMissRate(p int, r func(i int) float64) float64 {
+	if p <= 0 {
+		panic("model: AmortizedMissRate needs p > 0")
+	}
+	var sum float64
+	for i := 1; i <= p; i++ {
+		sum += l.TransientMissRate(r(i))
+	}
+	return sum / float64(p)
+}
+
+// Speedup evaluates the Figure 8 equation: the ratio of naive to
+// cache-conscious memory access time when only layout changes (the
+// reference count cancels).
+//
+// The paper's §5.4 validation assumes the L1 miss rate is ~1 for both
+// layouts (the L1 is far too small for the tree), so the L1 rates are
+// passed explicitly.
+func Speedup(p CacheParams, naiveL1, naiveL2, ccL1, ccL2 float64) float64 {
+	naive := p.MemoryAccessTime(naiveL1, naiveL2, 1)
+	cc := p.MemoryAccessTime(ccL1, ccL2, 1)
+	return naive / cc
+}
+
+// CTree models the §5.3 cache-conscious binary tree: n nodes packed k
+// per block, colored so the top c/2*k*a nodes map to a reserved half
+// of the cache.
+type CTree struct {
+	N       int64   // tree size in nodes
+	K       int64   // nodes clustered per cache block, floor(b/e)
+	Sets    int64   // cache sets c
+	Assoc   int64   // associativity a
+	HotFrac float64 // fraction of sets colored hot (paper: 1/2)
+}
+
+func (t CTree) validate() error {
+	if t.N <= 0 || t.K <= 0 || t.Sets <= 0 || t.Assoc <= 0 {
+		return fmt.Errorf("model: CTree fields must be positive: %+v", t)
+	}
+	if t.HotFrac <= 0 || t.HotFrac >= 1 {
+		return fmt.Errorf("model: CTree.HotFrac = %v out of (0,1)", t.HotFrac)
+	}
+	return nil
+}
+
+// PathLength returns D = log2(n+1), the nodes examined by a search.
+func (t CTree) PathLength() float64 { return math.Log2(float64(t.N) + 1) }
+
+// HotNodes returns the number of root-most nodes pinned by coloring:
+// hotFrac*c x k x a.
+func (t CTree) HotNodes() float64 {
+	return t.HotFrac * float64(t.Sets) * float64(t.K) * float64(t.Assoc)
+}
+
+// Locality returns the C-tree's locality functions per Figure 9's
+// derivation: K = log2(k+1) (a block transfer brings in one clustered
+// subtree's worth of path nodes) and Rs = log2(hot+1) (the colored
+// top of the tree always hits).
+func (t CTree) Locality() Locality {
+	if err := t.validate(); err != nil {
+		panic(err)
+	}
+	return Locality{
+		D:  t.PathLength(),
+		K:  math.Log2(float64(t.K) + 1),
+		Rs: math.Log2(t.HotNodes() + 1),
+	}
+}
+
+// MissRate evaluates the Figure 9 steady-state miss rate:
+//
+//	ms = (1 - log2(c/2*k*a + 1)/log2(n+1)) / log2(k+1).
+//
+// For trees no larger than the colored region it returns 0.
+func (t CTree) MissRate() float64 {
+	l := t.Locality()
+	if l.Rs >= l.D {
+		return 0
+	}
+	return l.MissRate()
+}
+
+// PredictedSpeedup applies Figure 8 to the C-tree against its naive
+// counterpart, with both layouts' L1 miss rate taken as 1 per §5.4
+// (the L1 "provides practically no clustering or reuse").
+func (t CTree) PredictedSpeedup(p CacheParams) float64 {
+	return Speedup(p, 1, 1, 1, t.MissRate())
+}

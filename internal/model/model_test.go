@@ -1,0 +1,239 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMemoryAccessTime(t *testing.T) {
+	p := PaperParams()
+	// All hits: th per reference.
+	if got := p.MemoryAccessTime(0, 0, 10); got != 10 {
+		t.Errorf("all-hit time = %v, want 10", got)
+	}
+	// All misses: th + tmL1 + tmL2 = 71 per reference.
+	if got := p.MemoryAccessTime(1, 1, 1); got != 71 {
+		t.Errorf("all-miss time = %v, want 71", got)
+	}
+	// L2 always hits: th + tmL1 = 7.
+	if got := p.MemoryAccessTime(1, 0, 1); got != 7 {
+		t.Errorf("L2-hit time = %v, want 7", got)
+	}
+}
+
+func TestNaiveLocality(t *testing.T) {
+	l := NaiveLocality(20)
+	if l.MissRate() != 1 {
+		t.Fatalf("naive miss rate = %v, want 1 (K=1, Rs=0)", l.MissRate())
+	}
+}
+
+func TestMissRateFormula(t *testing.T) {
+	// D=20, K=2, Rs=10: ms = (1 - 10/20)/2 = 0.25.
+	l := Locality{D: 20, K: 2, Rs: 10}
+	if got := l.MissRate(); !close(got, 0.25, 1e-12) {
+		t.Fatalf("miss rate = %v, want 0.25", got)
+	}
+	// Full reuse: ms = 0.
+	if got := (Locality{D: 20, K: 2, Rs: 20}).MissRate(); got != 0 {
+		t.Fatalf("full-reuse miss rate = %v, want 0", got)
+	}
+}
+
+func TestLocalityValidate(t *testing.T) {
+	bad := []Locality{
+		{D: 0, K: 1},
+		{D: -3, K: 1},
+		{D: 10, K: 0.5},
+		{D: 10, K: 1, Rs: -1},
+		{D: 10, K: 1, Rs: 11},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("bad locality %d validated: %+v", i, l)
+		}
+	}
+	if err := (Locality{D: 10, K: 2, Rs: 5}).Validate(); err != nil {
+		t.Errorf("good locality rejected: %v", err)
+	}
+}
+
+func TestMissRateBoundsQuick(t *testing.T) {
+	f := func(d, k, r uint16) bool {
+		l := Locality{
+			D:  1 + float64(d%1000),
+			K:  1 + float64(k%10),
+			Rs: 0,
+		}
+		l.Rs = math.Min(float64(r), l.D)
+		m := l.MissRate()
+		return m >= 0 && m <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissRateMonotonicity(t *testing.T) {
+	base := Locality{D: 21, K: 2, Rs: 10}
+	// More spatial locality (bigger K) -> lower miss rate.
+	better := base
+	better.K = 3
+	if better.MissRate() >= base.MissRate() {
+		t.Error("increasing K did not lower the miss rate")
+	}
+	// More temporal locality (bigger Rs) -> lower miss rate.
+	warmer := base
+	warmer.Rs = 15
+	if warmer.MissRate() >= base.MissRate() {
+		t.Error("increasing Rs did not lower the miss rate")
+	}
+}
+
+func TestAmortizedMissRateConvergesToSteadyState(t *testing.T) {
+	l := Locality{D: 21, K: 2, Rs: 12}
+	// Reuse ramps from 0 to Rs over the first 100 accesses (cold
+	// start), then stays at Rs.
+	reuse := func(i int) float64 {
+		if i >= 100 {
+			return l.Rs
+		}
+		return l.Rs * float64(i) / 100
+	}
+	early := l.AmortizedMissRate(10, reuse)
+	late := l.AmortizedMissRate(100000, reuse)
+	if early <= l.MissRate() {
+		t.Errorf("early amortized rate %v should exceed steady state %v", early, l.MissRate())
+	}
+	if !close(late, l.MissRate(), 1e-3) {
+		t.Errorf("late amortized rate %v did not converge to %v", late, l.MissRate())
+	}
+}
+
+func TestAmortizedMissRatePanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p=0 did not panic")
+		}
+	}()
+	(Locality{D: 10, K: 1}).AmortizedMissRate(0, func(int) float64 { return 0 })
+}
+
+func TestSpeedupFigure8(t *testing.T) {
+	p := PaperParams()
+	// Identical layouts: speedup 1.
+	if got := Speedup(p, 1, 1, 1, 1); !close(got, 1, 1e-12) {
+		t.Errorf("identity speedup = %v", got)
+	}
+	// Naive all-miss vs cc with L2 miss rate 0.1, L1 rate 1:
+	// 71 / (1 + 6 + 6.4) = 5.298...
+	want := 71.0 / 13.4
+	if got := Speedup(p, 1, 1, 1, 0.1); !close(got, want, 1e-9) {
+		t.Errorf("speedup = %v, want %v", got, want)
+	}
+}
+
+func TestCTreePathLength(t *testing.T) {
+	tr := CTree{N: 2097151, K: 3, Sets: 16384, Assoc: 1, HotFrac: 0.5}
+	if got := tr.PathLength(); !close(got, 21, 1e-9) {
+		t.Errorf("PathLength = %v, want 21 (2^21-1 nodes)", got)
+	}
+}
+
+func TestCTreeHotNodesPaperScale(t *testing.T) {
+	// §5.4: 64 x 384 = 24576 nodes colored (half a 1MB L2, k=3).
+	tr := CTree{N: 2097151, K: 3, Sets: 16384, Assoc: 1, HotFrac: 0.5}
+	if got := tr.HotNodes(); !close(got, 24576, 1e-9) {
+		t.Errorf("HotNodes = %v, want 24576", got)
+	}
+}
+
+func TestCTreeFigure9MissRate(t *testing.T) {
+	tr := CTree{N: 2097151, K: 3, Sets: 16384, Assoc: 1, HotFrac: 0.5}
+	// ms = (1 - log2(24577)/21) / 2.
+	wantRs := math.Log2(24577)
+	want := (1 - wantRs/21) / 2
+	if got := tr.MissRate(); !close(got, want, 1e-9) {
+		t.Errorf("miss rate = %v, want %v", got, want)
+	}
+	if want < 0.1 || want > 0.5 {
+		t.Errorf("paper-scale C-tree miss rate %v outside plausible range", want)
+	}
+}
+
+func TestCTreeSmallTreeFullyCached(t *testing.T) {
+	// A tree smaller than the colored region never misses in
+	// steady state.
+	tr := CTree{N: 1000, K: 3, Sets: 16384, Assoc: 1, HotFrac: 0.5}
+	if got := tr.MissRate(); got != 0 {
+		t.Errorf("fully-cached tree miss rate = %v, want 0", got)
+	}
+}
+
+func TestCTreeSpeedupShape(t *testing.T) {
+	p := PaperParams()
+	// Paper Figure 10: speedup declines with tree size, staying
+	// within roughly 3.5-7x over 2^18..2^22 nodes.
+	prev := math.Inf(1)
+	for _, n := range []int64{1 << 18, 1 << 19, 1 << 20, 1 << 21, 1 << 22} {
+		tr := CTree{N: n - 1, K: 3, Sets: 16384, Assoc: 1, HotFrac: 0.5}
+		s := tr.PredictedSpeedup(p)
+		if s >= prev {
+			t.Errorf("speedup not decreasing with tree size: n=%d s=%v prev=%v", n, s, prev)
+		}
+		if s < 3 || s > 8 {
+			t.Errorf("n=%d: predicted speedup %v outside the paper's 3.5-7 band", n, s)
+		}
+		prev = s
+	}
+}
+
+func TestCTreeAssociativityHelps(t *testing.T) {
+	dm := CTree{N: 1 << 21, K: 3, Sets: 8192, Assoc: 1, HotFrac: 0.5}
+	sa := CTree{N: 1 << 21, K: 3, Sets: 8192, Assoc: 2, HotFrac: 0.5}
+	if sa.MissRate() >= dm.MissRate() {
+		t.Error("doubling associativity (hot capacity) did not lower the predicted miss rate")
+	}
+}
+
+func TestCTreeValidation(t *testing.T) {
+	bad := []CTree{
+		{N: 0, K: 3, Sets: 8, Assoc: 1, HotFrac: 0.5},
+		{N: 10, K: 0, Sets: 8, Assoc: 1, HotFrac: 0.5},
+		{N: 10, K: 3, Sets: 0, Assoc: 1, HotFrac: 0.5},
+		{N: 10, K: 3, Sets: 8, Assoc: 0, HotFrac: 0.5},
+		{N: 10, K: 3, Sets: 8, Assoc: 1, HotFrac: 0},
+		{N: 10, K: 3, Sets: 8, Assoc: 1, HotFrac: 1},
+	}
+	for i, tr := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad CTree %d did not panic", i)
+				}
+			}()
+			tr.Locality()
+		}()
+	}
+}
+
+func TestCTreeSpeedupMonotoneQuick(t *testing.T) {
+	// Property: predicted speedup is always >= 1 (a cache-conscious
+	// layout never loses in the model) and decreases weakly with
+	// tree size for fixed cache parameters.
+	p := PaperParams()
+	f := func(exp uint8, k uint8) bool {
+		n := int64(1) << (10 + exp%12) // 2^10 .. 2^21
+		kk := int64(k%6) + 1
+		small := CTree{N: n, K: kk, Sets: 8192, Assoc: 1, HotFrac: 0.5}
+		big := CTree{N: n * 4, K: kk, Sets: 8192, Assoc: 1, HotFrac: 0.5}
+		s1, s2 := small.PredictedSpeedup(p), big.PredictedSpeedup(p)
+		return s1 >= 1 && s2 >= 1 && s2 <= s1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package mst
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccl/internal/olden"
+)
+
+// referenceMST replays the generator's edge stream into a host-side
+// adjacency map and runs the same cumulative-min-distance Prim the
+// simulated kernel uses, with the same duplicate-edge semantics (a
+// later edge between the same pair shadows earlier ones, because
+// insertion prepends to the hash chain).
+func referenceMST(cfg Config) uint64 {
+	n := cfg.NumVert
+	adj := make([]map[int]uint32, n)
+	for i := range adj {
+		adj[i] = map[int]uint32{}
+	}
+	add := func(a, b int, w uint32) {
+		// Prepending shadows earlier entries, so the latest weight
+		// wins — overwriting matches chain-walk-finds-newest-first.
+		adj[a][b] = w
+		adj[b][a] = w
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < n; i++ {
+		add(i, (i+1)%n, uint32(rng.Intn(1000))+1)
+	}
+	for i := 0; i < n; i++ {
+		for e := 0; e < cfg.EdgesPer/2; e++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			add(i, j, uint32(rng.Intn(1000))+1)
+		}
+	}
+
+	const inf = ^uint32(0)
+	inTree := make([]bool, n)
+	mindist := make([]uint32, n)
+	for i := range mindist {
+		mindist[i] = inf
+	}
+	inTree[0] = true
+	last := 0
+	var total uint64
+	for added := 1; added < n; added++ {
+		best, bestD := -1, inf
+		for v := 0; v < n; v++ {
+			if inTree[v] {
+				continue
+			}
+			if w, ok := adj[v][last]; ok && w < mindist[v] {
+				mindist[v] = w
+			}
+			if mindist[v] < bestD {
+				bestD, best = mindist[v], v
+			}
+		}
+		inTree[best] = true
+		total += uint64(bestD)
+		last = best
+	}
+	return total
+}
+
+func TestMSTWeightMatchesReference(t *testing.T) {
+	for _, cfg := range []Config{
+		{NumVert: 16, EdgesPer: 4, Buckets: 2, Seed: 1},
+		{NumVert: 64, EdgesPer: 6, Buckets: 4, Seed: 2},
+		DefaultConfig(),
+	} {
+		want := referenceMST(cfg)
+		got := Run(olden.NewEnv(olden.Base, 16), cfg)
+		if got.Check != want {
+			t.Errorf("cfg %+v: MST weight %d, want %d", cfg, got.Check, want)
+		}
+	}
+}
+
+func TestAllVariantsAgree(t *testing.T) {
+	cfg := Config{NumVert: 80, EdgesPer: 8, Buckets: 4, Seed: 9}
+	want := Run(olden.NewEnv(olden.Base, 16), cfg).Check
+	for _, v := range []olden.Variant{olden.CCMallocFirstFit, olden.CCMallocNewBlock, olden.CCMorphCluster, olden.SWPrefetch} {
+		if got := Run(olden.NewEnv(v, 16), cfg).Check; got != want {
+			t.Errorf("%s: weight %d, want %d", v.Name(), got, want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{NumVert: 1, EdgesPer: 2, Buckets: 2},
+		{NumVert: 8, EdgesPer: 2, Buckets: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			Run(olden.NewEnv(olden.Base, 16), cfg)
+		}()
+	}
+}
+
+func TestRingKeepsGraphConnected(t *testing.T) {
+	// Even with no random edges the ring guarantees a spanning tree
+	// of n-1 ring edges.
+	cfg := Config{NumVert: 10, EdgesPer: 0, Buckets: 2, Seed: 4}
+	r := Run(olden.NewEnv(olden.Base, 16), cfg)
+	if r.Check == 0 {
+		t.Fatal("MST weight zero on a connected ring")
+	}
+	if r.Check != referenceMST(cfg) {
+		t.Fatal("ring-only MST mismatch")
+	}
+}

@@ -1,0 +1,126 @@
+package perimeter
+
+import (
+	"testing"
+
+	"ccl/internal/olden"
+)
+
+// referencePerimeter computes the black region's perimeter by
+// rasterizing the same quadtree decomposition (same uniform()
+// sampling) into a pixel grid and counting black-white and
+// black-boundary cell edges.
+func referencePerimeter(cfg Config) uint64 {
+	img := newImage(cfg)
+	grid := make([][]bool, cfg.ImageSize)
+	for i := range grid {
+		grid[i] = make([]bool, cfg.ImageSize)
+	}
+	var fill func(x, y, s int)
+	fill = func(x, y, s int) {
+		if ok, col := img.uniform(x, y, s); ok {
+			if col == Black {
+				for dx := 0; dx < s; dx++ {
+					for dy := 0; dy < s; dy++ {
+						grid[x+dx][y+dy] = true
+					}
+				}
+			}
+			return
+		}
+		h := s / 2
+		fill(x, y, h)
+		fill(x+h, y, h)
+		fill(x, y+h, h)
+		fill(x+h, y+h, h)
+	}
+	fill(0, 0, cfg.ImageSize)
+
+	black := func(x, y int) bool {
+		if x < 0 || y < 0 || x >= cfg.ImageSize || y >= cfg.ImageSize {
+			return false
+		}
+		return grid[x][y]
+	}
+	var per uint64
+	for x := 0; x < cfg.ImageSize; x++ {
+		for y := 0; y < cfg.ImageSize; y++ {
+			if !grid[x][y] {
+				continue
+			}
+			for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				if !black(x+d[0], y+d[1]) {
+					per++
+				}
+			}
+		}
+	}
+	return per
+}
+
+func TestPerimeterMatchesRasterReference(t *testing.T) {
+	for _, cfg := range []Config{
+		{ImageSize: 32, Circles: 2, Repeats: 1, Seed: 1},
+		{ImageSize: 64, Circles: 4, Repeats: 1, Seed: 2},
+		{ImageSize: 128, Circles: 6, Repeats: 1, Seed: 5},
+	} {
+		want := referencePerimeter(cfg)
+		got := Run(olden.NewEnv(olden.Base, 16), cfg)
+		if got.Check != want {
+			t.Errorf("cfg %+v: perimeter %d, want %d", cfg, got.Check, want)
+		}
+	}
+}
+
+func TestAllVariantsAgree(t *testing.T) {
+	cfg := Config{ImageSize: 128, Circles: 5, Repeats: 1, Seed: 7}
+	want := Run(olden.NewEnv(olden.Base, 16), cfg).Check
+	for _, v := range []olden.Variant{olden.CCMallocClosest, olden.CCMallocNewBlock, olden.CCMorphClusterColor, olden.SWPrefetch, olden.HWPrefetch} {
+		if got := Run(olden.NewEnv(v, 16), cfg).Check; got != want {
+			t.Errorf("%s: perimeter %d, want %d", v.Name(), got, want)
+		}
+	}
+}
+
+func TestMetaPacking(t *testing.T) {
+	for _, c := range []struct {
+		color uint32
+		size  int
+	}{{White, 1}, {Black, 64}, {Grey, 4096}} {
+		v := packMeta(c.color, c.size)
+		if metaColor(v) != c.color {
+			t.Errorf("color round-trip failed for %v", c)
+		}
+		if metaSize(v) != uint64(c.size) {
+			t.Errorf("size round-trip failed for %v: got %d", c, metaSize(v))
+		}
+	}
+}
+
+func TestNodeSizeGivesCompleteFamilies(t *testing.T) {
+	// The packed 24-byte node must fit a parent and all four
+	// children in one 128-byte RSIM line (k = 5).
+	if 5*NodeSize > 128 {
+		t.Fatalf("node size %d: five nodes exceed a 128-byte line", NodeSize)
+	}
+}
+
+func TestBadImageSizePanics(t *testing.T) {
+	for _, sz := range []int{0, 1, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ImageSize %d did not panic", sz)
+				}
+			}()
+			Run(olden.NewEnv(olden.Base, 16), Config{ImageSize: sz, Circles: 1, Repeats: 1})
+		}()
+	}
+}
+
+func TestEmptyImageHasZeroPerimeter(t *testing.T) {
+	cfg := Config{ImageSize: 64, Circles: 0, Repeats: 1, Seed: 1}
+	if r := Run(olden.NewEnv(olden.Base, 16), cfg); r.Check != 0 {
+		t.Fatalf("all-white image has perimeter %d", r.Check)
+	}
+}

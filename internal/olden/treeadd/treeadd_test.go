@@ -1,0 +1,61 @@
+package treeadd
+
+import (
+	"testing"
+
+	"ccl/internal/olden"
+)
+
+func TestSumMatchesClosedForm(t *testing.T) {
+	// Values are assigned 1..n in build order, so the sum is
+	// n(n+1)/2 regardless of layout.
+	cfg := Config{Depth: 10, Repeats: 1}
+	n := cfg.Nodes()
+	want := uint64(n) * uint64(n+1) / 2
+	for _, v := range []olden.Variant{olden.Base, olden.CCMallocNewBlock, olden.CCMorphClusterColor, olden.SWPrefetch, olden.HWPrefetch} {
+		r := Run(olden.NewEnv(v, 16), cfg)
+		if r.Check != want {
+			t.Errorf("%s: sum = %d, want %d", v.Name(), r.Check, want)
+		}
+	}
+}
+
+func TestNodesCount(t *testing.T) {
+	if (Config{Depth: 5}).Nodes() != 31 {
+		t.Fatal("Nodes() wrong")
+	}
+	if DefaultConfig().Nodes() >= PaperConfig().Nodes() {
+		t.Fatal("default config should be smaller than paper scale")
+	}
+}
+
+func TestRepeatsScaleWork(t *testing.T) {
+	one := Run(olden.NewEnv(olden.Base, 16), Config{Depth: 10, Repeats: 1})
+	three := Run(olden.NewEnv(olden.Base, 16), Config{Depth: 10, Repeats: 3})
+	if three.Cycles() <= one.Cycles() {
+		t.Fatal("more repeats should cost more cycles")
+	}
+	if three.Check != one.Check {
+		t.Fatal("repeats changed the sum")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Run(olden.NewEnv(olden.CCMallocClosest, 16), Config{Depth: 9, Repeats: 2})
+	b := Run(olden.NewEnv(olden.CCMallocClosest, 16), Config{Depth: 9, Repeats: 2})
+	if a.Cycles() != b.Cycles() || a.Check != b.Check {
+		t.Fatal("identical runs diverged")
+	}
+}
+
+func TestMorphReducesTraversalMisses(t *testing.T) {
+	// With enough repeats, the reorganized tree's denser packing
+	// must show up as fewer L2 misses than base, even though total
+	// cycles stay close (the build is sequential either way).
+	base := Run(olden.NewEnv(olden.Base, 8), Config{Depth: 13, Repeats: 10})
+	cl := Run(olden.NewEnv(olden.CCMorphCluster, 8), Config{Depth: 13, Repeats: 10})
+	if cl.Stats.Levels[1].Misses >= base.Stats.Levels[1].Misses {
+		t.Errorf("morphed L2 misses %d not below base %d",
+			cl.Stats.Levels[1].Misses, base.Stats.Levels[1].Misses)
+	}
+}

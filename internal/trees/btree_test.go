@@ -1,0 +1,194 @@
+package trees
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccl/internal/layout"
+	"ccl/internal/machine"
+	"ccl/internal/memsys"
+)
+
+func TestMaxKeysFor(t *testing.T) {
+	if got := MaxKeysFor(64); got != 6 {
+		t.Errorf("MaxKeysFor(64) = %d, want 6", got)
+	}
+	if got := MaxKeysFor(128); got != 14 {
+		t.Errorf("MaxKeysFor(128) = %d, want 14", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("tiny block did not panic")
+		}
+	}()
+	MaxKeysFor(16)
+}
+
+func TestBTreeNodeFitsBlock(t *testing.T) {
+	m := machine.NewScaled(64)
+	bt := NewBTree(m, 0)
+	// leaf flag is the last field; it must end within the block.
+	if bt.leafOff()+4 > bt.blockSize {
+		t.Fatalf("node layout (%d bytes) exceeds block (%d)", bt.leafOff()+4, bt.blockSize)
+	}
+}
+
+func TestBulkLoadSearchable(t *testing.T) {
+	for _, n := range []int64{1, 2, 4, 5, 31, 100, 1000, 4097} {
+		m := machine.NewScaled(64)
+		bt := NewBTree(m, 0)
+		bt.BulkLoad(n, 0.67)
+		if bt.N() != n {
+			t.Fatalf("n=%d: N() = %d", n, bt.N())
+		}
+		if err := bt.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for k := int64(1); k <= n; k++ {
+			if !bt.Search(uint32(k)) {
+				t.Fatalf("n=%d: key %d not found", n, k)
+			}
+		}
+		if bt.Search(0) || bt.Search(uint32(n)+1) {
+			t.Fatalf("n=%d: found absent key", n)
+		}
+	}
+}
+
+func TestBulkLoadFillAffectsFootprintAndHeight(t *testing.T) {
+	const n = 4096
+	mFull := machine.NewScaled(64)
+	full := NewBTree(mFull, 0)
+	full.BulkLoad(n, 1.0)
+
+	mSlack := machine.NewScaled(64)
+	slack := NewBTree(mSlack, 0)
+	slack.BulkLoad(n, 0.6)
+
+	if slack.HeapBytes() <= full.HeapBytes() {
+		t.Errorf("fill 0.6 (%d bytes) should use more space than fill 1.0 (%d)",
+			slack.HeapBytes(), full.HeapBytes())
+	}
+	if slack.Height() < full.Height() {
+		t.Errorf("slack tree height %d < full tree height %d", slack.Height(), full.Height())
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	m := machine.NewScaled(64)
+	bt := NewBTree(m, 0)
+	for _, f := range []func(){
+		func() { bt.BulkLoad(0, 0.5) },
+		func() { bt.BulkLoad(10, 0) },
+		func() { bt.BulkLoad(10, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid BulkLoad did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+	bt.BulkLoad(10, 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Error("double BulkLoad did not panic")
+		}
+	}()
+	bt.BulkLoad(10, 0.5)
+}
+
+func TestInsertIntoEmpty(t *testing.T) {
+	m := machine.NewScaled(64)
+	bt := NewBTree(m, 0)
+	bt.Insert(42)
+	if !bt.Search(42) || bt.N() != 1 || bt.Height() != 1 {
+		t.Fatalf("single insert broken: n=%d h=%d", bt.N(), bt.Height())
+	}
+	bt.Insert(42) // duplicate: no-op
+	if bt.N() != 1 {
+		t.Fatal("duplicate insert changed N")
+	}
+}
+
+func TestInsertRandomOrder(t *testing.T) {
+	m := machine.NewScaled(64)
+	bt := NewBTree(m, 0)
+	rng := rand.New(rand.NewSource(3))
+	keys := rng.Perm(2000)
+	for _, k := range keys {
+		bt.Insert(uint32(k + 1))
+	}
+	if bt.N() != 2000 {
+		t.Fatalf("N = %d, want 2000", bt.N())
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 2000; k++ {
+		if !bt.Search(uint32(k)) {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+	if bt.Height() < 4 {
+		t.Errorf("height %d suspiciously small for 2000 keys, 4 per node", bt.Height())
+	}
+}
+
+func TestInsertAfterBulkLoad(t *testing.T) {
+	m := machine.NewScaled(64)
+	bt := NewBTree(m, 0)
+	bt.BulkLoad(1000, 0.67)
+	// Insert keys beyond the loaded range; the slack must absorb
+	// some without splitting everywhere.
+	for k := uint32(1001); k <= 1200; k++ {
+		bt.Insert(k)
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint32(1); k <= 1200; k++ {
+		if !bt.Search(k) {
+			t.Fatalf("key %d missing after mixed load", k)
+		}
+	}
+}
+
+func TestColoredBTreeRootIsHot(t *testing.T) {
+	m := machine.NewScaled(16)
+	bt := NewBTree(m, 0.5)
+	bt.BulkLoad(1<<14, 0.67)
+	col := layout.NewColoring(layout.FromLevel(m.Cache.LastLevel()), 0.5)
+	if !col.IsHot(bt.root) {
+		t.Fatalf("root %v (set %d) not hot", bt.root, col.SetOf(bt.root))
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeNodesBlockAligned(t *testing.T) {
+	m := machine.NewScaled(64)
+	bt := NewBTree(m, 0.5)
+	bt.BulkLoad(500, 0.67)
+	seen := 0
+	var dfs func(a memsys.Addr)
+	dfs = func(a memsys.Addr) {
+		if int64(a)%bt.blockSize != 0 {
+			t.Fatalf("node at %v not block aligned", a)
+		}
+		seen++
+		if bt.rawLeaf(a) {
+			return
+		}
+		for i := 0; i <= bt.rawCount(a); i++ {
+			dfs(bt.rawChild(a, i))
+		}
+	}
+	dfs(bt.root)
+	if seen < 100 {
+		t.Fatalf("walked only %d nodes", seen)
+	}
+}
