@@ -37,6 +37,7 @@ import (
 	"ccl/internal/machine"
 	"ccl/internal/memsys"
 	"ccl/internal/model"
+	"ccl/internal/telemetry"
 	"ccl/internal/trees"
 )
 
@@ -205,3 +206,26 @@ func NewBTree(m *Machine, colorFrac float64) *BTree {
 // BSTLayout returns the CCMorph template for BST nodes, for use with
 // Reorganize.
 func BSTLayout() StructureLayout { return trees.Layout() }
+
+// Telemetry (miss classification, per-structure attribution, set
+// heatmaps, counter registry).
+type (
+	// Collector observes a cache hierarchy and classifies every
+	// demand miss compulsory/capacity/conflict (the 3C model),
+	// attributes misses to registered address regions, and keeps
+	// per-set heatmap counters for the last level.
+	Collector = telemetry.Collector
+	// TelemetryReport is a Collector's JSON-serializable summary.
+	TelemetryReport = telemetry.Report
+	// Registry is a flat namespace of named counters with
+	// snapshot-diffing, fed by the Each methods of the stats types.
+	Registry = telemetry.Registry
+)
+
+// AttachTelemetry installs a fresh Collector as the machine's cache
+// observer and returns it. Detach with m.Cache.SetObserver(nil); with
+// no observer installed the simulator's outputs are unchanged.
+func AttachTelemetry(m *Machine) *Collector { return telemetry.Attach(m.Cache) }
+
+// NewRegistry returns an empty counter registry.
+func NewRegistry() *Registry { return telemetry.NewRegistry() }

@@ -2,12 +2,15 @@
 //
 // Usage:
 //
-//	ccbench [-full] [experiment ...]
+//	ccbench [-full] [-list] [-json path] [experiment ...]
 //
-// Experiments: table1 fig5 fig6 table2 fig7 table3 control memovh
-// fig10, or "all" (the default). -full runs paper-scale structure
-// sizes on the unscaled §4.1/Table 1 machines; expect minutes instead
-// of seconds.
+// Run ccbench -list for the available experiment ids; "all" (the
+// default) runs every experiment in paper order. -full runs
+// paper-scale structure sizes on the unscaled §4.1/Table 1 machines;
+// expect minutes instead of seconds. -json additionally writes every
+// table that ran as a machine-readable report (schema in DESIGN.md
+// "Telemetry"), the format committed BENCH_*.json files use. Flags
+// may appear before or after experiment ids.
 package main
 
 import (
@@ -19,29 +22,83 @@ import (
 	"ccl/internal/bench"
 )
 
-var experiments = map[string]func(full bool) bench.Table{
-	"table1":          func(bool) bench.Table { return bench.Table1() },
-	"fig5":            bench.Fig5,
-	"fig6":            bench.Fig6,
-	"table2":          bench.Table2,
-	"fig7":            bench.Fig7,
-	"table3":          func(bool) bench.Table { return bench.Table3() },
-	"control":         bench.Control,
-	"memovh":          bench.MemOvh,
-	"fig10":           bench.Fig10,
-	"ablate-color":    bench.AblationColorFrac,
-	"ablate-block":    bench.AblationBlockSize,
-	"ablate-interval": bench.AblationMorphInterval,
+// experiment couples a runner with the one-line description -list
+// prints.
+type experiment struct {
+	run  func(full bool) bench.Table
+	desc string
 }
 
-var order = []string{"table1", "fig5", "fig6", "table2", "fig7", "table3", "control", "memovh", "fig10", "ablate-color", "ablate-block", "ablate-interval"}
+var experiments = map[string]experiment{
+	"table1":          {func(bool) bench.Table { return bench.Table1() }, "RSIM simulation parameters (paper Table 1)"},
+	"fig5":            {bench.Fig5, "tree microbenchmark: avg cycles/search for four layouts (paper Fig. 5)"},
+	"fig6":            {bench.Fig6, "RADIANCE and VIS macrobenchmarks, normalized time (paper Fig. 6)"},
+	"table2":          {bench.Table2, "Olden benchmark characteristics (paper Table 2)"},
+	"fig7":            {bench.Fig7, "Olden suite under eight placement schemes, cycle breakdown (paper Fig. 7)"},
+	"table3":          {func(bool) bench.Table { return bench.Table3() }, "qualitative technique trade-off summary (paper Table 3)"},
+	"control":         {bench.Control, "ccmalloc null-hint control experiment (§4.4)"},
+	"memovh":          {bench.MemOvh, "heap footprint by allocation strategy (§4.4)"},
+	"fig10":           {bench.Fig10, "predicted vs measured C-tree speedup across tree sizes (paper Fig. 10)"},
+	"metrics":         {bench.Metrics, "telemetry: 3C miss classes, per-structure attribution, set heatmaps"},
+	"ablate-color":    {bench.AblationColorFrac, "Color_const sweep: C-tree speedup vs colored cache fraction"},
+	"ablate-block":    {bench.AblationBlockSize, "block-size sweep vs the model's K = log2(k+1)"},
+	"ablate-interval": {bench.AblationMorphInterval, "health: ccmorph reorganization interval sweep"},
+}
+
+var order = []string{
+	"table1", "fig5", "fig6", "table2", "fig7", "table3", "control",
+	"memovh", "fig10", "metrics", "ablate-color", "ablate-block", "ablate-interval",
+}
+
+// reorderArgs moves flags (and the value of flags that take one) in
+// front of positional arguments, so `ccbench table1 -json out.json`
+// works: the flag package stops at the first positional otherwise.
+// A value flag with nothing after it is an error — without the check,
+// reordering would hand the flag a positional as its value.
+func reorderArgs(args []string) ([]string, error) {
+	valueFlags := map[string]bool{"-json": true, "--json": true}
+	var flags, pos []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if len(a) > 1 && a[0] == '-' {
+			flags = append(flags, a)
+			if valueFlags[a] {
+				if i+1 >= len(args) {
+					return nil, fmt.Errorf("flag needs an argument: %s", a)
+				}
+				i++
+				flags = append(flags, args[i])
+			}
+			continue
+		}
+		pos = append(pos, a)
+	}
+	return append(flags, pos...), nil
+}
 
 func main() {
 	full := flag.Bool("full", false, "run paper-scale workloads (slow)")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	jsonPath := flag.String("json", "", "also write the results as a JSON report to `path`")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ccbench [-full] [experiment ...]\navailable: all %v\n", order)
+		fmt.Fprintf(os.Stderr, "usage: ccbench [-full] [-list] [-json path] [experiment ...]\navailable: all %v\n", order)
 	}
-	flag.Parse()
+	args, err := reorderArgs(os.Args[1:])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := flag.CommandLine.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, id := range order {
+			fmt.Printf("%-16s %s\n", id, experiments[id].desc)
+		}
+		return
+	}
 
 	ids := flag.Args()
 	if len(ids) == 0 {
@@ -55,16 +112,36 @@ func main() {
 			continue
 		}
 		if _, ok := experiments[id]; !ok {
-			fmt.Fprintf(os.Stderr, "ccbench: unknown experiment %q\navailable: all %v\n", id, order)
+			fmt.Fprintf(os.Stderr, "ccbench: unknown experiment %q\navailable: all %v\n(run ccbench -list for descriptions)\n", id, order)
 			os.Exit(2)
 		}
 		run = append(run, id)
 	}
 
+	var tables []bench.Table
 	for _, id := range run {
 		start := time.Now()
-		t := experiments[id](*full)
+		t := experiments[id].run(*full)
+		tables = append(tables, t)
 		t.Render(os.Stdout)
 		fmt.Printf("  (%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteJSON(f, *full, tables); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "ccbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: closing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote JSON report (%s) to %s\n", bench.ReportSchema, *jsonPath)
 	}
 }

@@ -1,9 +1,13 @@
 package bench
 
 import (
+	"encoding/json"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
+
+	"ccl/internal/telemetry"
 )
 
 func TestRenderAlignsColumns(t *testing.T) {
@@ -120,4 +124,111 @@ func TestOldenRunUnknownPanics(t *testing.T) {
 		}
 	}()
 	oldenRun("nonesuch", 0, false)
+}
+
+func TestRenderRaggedRows(t *testing.T) {
+	tab := Table{
+		ID:     "ragged",
+		Title:  "rows wider and narrower than the header",
+		Header: []string{"a", "b"},
+		Rows: [][]string{
+			{"short"},                       // narrower than header
+			{"x", "y", "extra", "and-more"}, // wider than header
+			{"normal", "row"},
+		},
+	}
+	var sb strings.Builder
+	tab.Render(&sb) // must not panic
+	out := sb.String()
+	for _, want := range []string{"short", "extra", "and-more", "normal"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ragged render lost cell %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	tabs := []Table{
+		{
+			ID:     "t",
+			Title:  "title",
+			Header: []string{"h1", "h2"},
+			Rows:   [][]string{{"a", "1"}},
+			Notes:  []string{"n"},
+			Telemetry: map[string]telemetry.Report{
+				"phase": {
+					Levels: []telemetry.LevelReport{{Name: "L1", Accesses: 10, Misses: 3, Compulsory: 1, Capacity: 1, Conflict: 1}},
+					Heatmap: telemetry.Heatmap{
+						Level: "L1", Sets: 2,
+						Accesses: []int64{6, 4}, Misses: []int64{2, 1},
+						Conflicts: []int64{1, 0}, Evictions: []int64{2, 1},
+					},
+					Regions: []telemetry.RegionReport{{Label: "r", Bytes: 64, Accesses: 10, MissesByLevel: []int64{3}, Conflict: 1}},
+				},
+			},
+		},
+	}
+	var buf strings.Builder
+	if err := WriteJSON(&buf, true, tabs); err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal([]byte(buf.String()), &got); err != nil {
+		t.Fatalf("round-trip unmarshal: %v", err)
+	}
+	if got.Schema != ReportSchema || !got.Full {
+		t.Fatalf("envelope = %q full=%v", got.Schema, got.Full)
+	}
+	if !reflect.DeepEqual(got.Experiments, tabs) {
+		t.Fatalf("round trip changed the tables:\ngot  %+v\nwant %+v", got.Experiments, tabs)
+	}
+}
+
+func TestMetricsExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("metrics experiment runs full workloads")
+	}
+	tab := Metrics(false)
+	if tab.ID != "metrics" || len(tab.Rows) == 0 {
+		t.Fatalf("metrics table malformed: id=%q rows=%d", tab.ID, len(tab.Rows))
+	}
+	for _, phase := range []string{"bst-base", "ctree", "radiance-clustering", "radiance-clustering+coloring"} {
+		rep, ok := tab.Telemetry[phase]
+		if !ok {
+			t.Fatalf("telemetry missing phase %q", phase)
+		}
+		if len(rep.Levels) == 0 || rep.Levels[0].Accesses == 0 {
+			t.Errorf("phase %q has empty level telemetry", phase)
+		}
+		if rep.Heatmap.Sets == 0 {
+			t.Errorf("phase %q has no heatmap", phase)
+		}
+	}
+	// The experiment's reason to exist: reorganization reduces misses,
+	// and the before/after attribution shows traffic moving to the new
+	// structure.
+	base := tab.Telemetry["bst-base"]
+	ctree := tab.Telemetry["ctree"]
+	lb, lc := base.Levels[len(base.Levels)-1], ctree.Levels[len(ctree.Levels)-1]
+	if lc.Misses >= lb.Misses {
+		t.Errorf("ctree LLC misses (%d) not below bst-base (%d)", lc.Misses, lb.Misses)
+	}
+	var oldRegion, newRegion *telemetry.RegionReport
+	for i := range ctree.Regions {
+		switch ctree.Regions[i].Label {
+		case "bst-nodes(old)":
+			oldRegion = &ctree.Regions[i]
+		case "ctree-nodes":
+			newRegion = &ctree.Regions[i]
+		}
+	}
+	if oldRegion == nil || newRegion == nil {
+		t.Fatalf("ctree regions missing: %+v", ctree.Regions)
+	}
+	if newRegion.Accesses == 0 {
+		t.Error("no accesses attributed to the reorganized layout")
+	}
+	if oldRegion.Accesses != 0 {
+		t.Errorf("searches still touching the old layout: %d accesses", oldRegion.Accesses)
+	}
 }

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ccl/internal/apps/radiance"
+	"ccl/internal/ccmorph"
+	"ccl/internal/heap"
+	"ccl/internal/layout"
+	"ccl/internal/machine"
+	"ccl/internal/telemetry"
+	"ccl/internal/trees"
+)
+
+// heatmapCols is the width of the ASCII set heatmaps in the metrics
+// report.
+const heatmapCols = 64
+
+// Metrics is the telemetry showcase experiment: it runs the tree
+// microbenchmark before and after ccmorph with a collector attached,
+// attributing every miss to the structure that caused it and
+// classifying it compulsory/capacity/conflict, then repeats the
+// Figure 6 RADIANCE run with and without coloring to show the
+// coloring's effect on last-level set pressure. The raw telemetry
+// reports ride along in Table.Telemetry, so `ccbench metrics -json`
+// emits the full machine-readable record.
+func Metrics(full bool) Table {
+	n := int64(1<<15 - 1)
+	searches := 20000
+	scale := int64(Scale)
+	if full {
+		n = 1<<19 - 1
+		searches = 200000
+		scale = 1
+	}
+
+	tab := Table{
+		ID:        "metrics",
+		Title:     "Telemetry: 3C miss classes, per-structure attribution, set heatmaps",
+		Header:    []string{"Workload", "Metric", "Value"},
+		Telemetry: map[string]telemetry.Report{},
+	}
+
+	// --- Tree microbenchmark, before and after ccmorph ---
+
+	m := machine.NewScaled(scale)
+	buildStart := m.Arena.Brk()
+	t := trees.Build(m, heap.New(m.Arena), n, trees.RandomOrder, 11)
+	buildEnd := m.Arena.Brk()
+
+	runPhase := func(name string, col *telemetry.Collector) telemetry.Report {
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < searches/4; i++ { // steady state (§5.3)
+			t.Search(uint32(rng.Int63n(n)) + 1)
+		}
+		m.ResetStats()
+		col.Reset()
+		for i := 0; i < searches; i++ {
+			t.Search(uint32(rng.Int63n(n)) + 1)
+		}
+		rep := col.Report()
+		tab.Telemetry[name] = rep
+		cycles := m.Stats().TotalCycles()
+		tab.Rows = append(tab.Rows, metricRows(name, rep, cycles, searches)...)
+		return rep
+	}
+
+	base := telemetry.Attach(m.Cache)
+	base.Regions().Register("bst-nodes", buildStart, int64(buildEnd)-int64(buildStart))
+	runPhase("bst-base", base)
+
+	// Reorganize through an explicit placer so the new layout's
+	// extents are known and can be labeled.
+	placer := ccmorph.NewPlacer(m.Arena, ccmorph.Config{
+		Geometry:  layout.FromLevel(m.Cache.LastLevel()),
+		ColorFrac: 0.5,
+	})
+	morphStats := t.MorphWith(placer, nil)
+
+	ctree := telemetry.Attach(m.Cache)
+	ctree.Regions().Register("bst-nodes(old)", buildStart, int64(buildEnd)-int64(buildStart))
+	for _, ext := range placer.Extents() {
+		ctree.Regions().RegisterRange("ctree-nodes", ext)
+	}
+	runPhase("ctree", ctree)
+
+	// The registry path: every ad-hoc stats struct publishes into one
+	// namespace, and a few headline counters make it into the table.
+	reg := telemetry.NewRegistry()
+	reg.Record("cache", m.Stats())
+	reg.Record("morph", morphStats)
+	for _, name := range []string{"morph.nodes", "morph.hot_clusters", "morph.new_bytes", "cache.cycles.total"} {
+		tab.Rows = append(tab.Rows, []string{"registry", name, fmt.Sprintf("%d", reg.Get(name))})
+	}
+
+	// --- RADIANCE with and without coloring (the Fig. 6 pair) ---
+
+	radCfg := radiance.DefaultConfig()
+	if full {
+		radCfg = radiance.PaperConfig()
+	}
+	radReports := map[string]telemetry.Report{}
+	for _, mode := range []radiance.Mode{radiance.Cluster, radiance.ClusterColor} {
+		rm := machine.NewScaled(Scale)
+		col := telemetry.Attach(rm.Cache)
+		r := radiance.Run(rm, mode, radCfg)
+		rep := col.Report()
+		name := "radiance-" + mode.String()
+		radReports[name] = rep
+		tab.Telemetry[name] = rep
+		last := rep.Levels[len(rep.Levels)-1]
+		tab.Rows = append(tab.Rows,
+			[]string{name, "cycles", fmt.Sprintf("%d", r.Cycles())},
+			[]string{name, last.Name + " misses (comp/cap/conf)",
+				fmt.Sprintf("%d (%d/%d/%d)", last.Misses, last.Compulsory, last.Capacity, last.Conflict)},
+		)
+	}
+
+	tab.Notes = append(tab.Notes,
+		"conflict misses are the class coloring removes (§3.2); compare bst-base vs ctree and the radiance pair")
+	for _, nm := range []string{"bst-base", "ctree"} {
+		rep := tab.Telemetry[nm]
+		tab.Notes = append(tab.Notes, heatmapNote(nm, rep)...)
+	}
+	for _, mode := range []radiance.Mode{radiance.Cluster, radiance.ClusterColor} {
+		nm := "radiance-" + mode.String()
+		tab.Notes = append(tab.Notes, heatmapNote(nm, radReports[nm])...)
+	}
+	return tab
+}
+
+// metricRows tabulates one search phase: per-level 3C classification
+// and per-structure miss attribution.
+func metricRows(name string, rep telemetry.Report, cycles int64, searches int) [][]string {
+	rows := [][]string{
+		{name, "cycles/search", f1(float64(cycles) / float64(searches))},
+	}
+	for _, l := range rep.Levels {
+		rows = append(rows, []string{
+			name,
+			l.Name + " misses (comp/cap/conf)",
+			fmt.Sprintf("%d (%d/%d/%d)", l.Misses, l.Compulsory, l.Capacity, l.Conflict),
+		})
+	}
+	last := len(rep.Levels) - 1
+	for _, r := range rep.Regions {
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%s misses <- %s", rep.Levels[last].Name, r.Label),
+			fmt.Sprintf("%d (conflict %d)", r.MissesByLevel[last], r.Conflict),
+		})
+	}
+	return rows
+}
+
+// heatmapNote renders a phase's set heatmap as note lines.
+func heatmapNote(name string, rep telemetry.Report) []string {
+	lines := strings.Split(strings.TrimRight(rep.Heatmap.RenderASCII(heatmapCols), "\n"), "\n")
+	out := make([]string, 0, len(lines)+1)
+	out = append(out, name+":")
+	for _, l := range lines {
+		out = append(out, "  "+l)
+	}
+	return out
+}

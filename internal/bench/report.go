@@ -4,31 +4,47 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
+
+	"ccl/internal/telemetry"
 )
 
 // Table is one experiment's output: the rows/series of a paper table
-// or figure.
+// or figure. The json tags define the machine-readable schema ccbench
+// -json emits (see DESIGN.md "Telemetry" for the full schema).
 type Table struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+	// Telemetry carries the metrics experiment's raw reports, keyed
+	// by workload phase (e.g. "bst-base", "ctree"). Nil for
+	// experiments that only tabulate.
+	Telemetry map[string]telemetry.Report `json:"telemetry,omitempty"`
 }
 
-// Render writes the table as aligned ASCII.
+// Render writes the table as aligned ASCII. Rows may be ragged: cells
+// beyond the header's width get their own columns (with empty header
+// cells), and short rows simply end early.
 func (t Table) Render(w io.Writer) {
 	fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title)
-	widths := make([]int, len(t.Header))
+	ncols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, r := range t.Rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -61,6 +77,28 @@ func (t Table) Render(w io.Writer) {
 		fmt.Fprintf(w, "  note: %s\n", n)
 	}
 	fmt.Fprintln(w)
+}
+
+// ReportSchema identifies the ccbench -json output format. Bump it
+// when the structure of Report changes incompatibly.
+const ReportSchema = "ccl-bench/v1"
+
+// Report is the machine-readable envelope ccbench -json writes: every
+// experiment that ran, in order, plus enough provenance to interpret
+// the numbers later (schema version, quick-vs-full scale). It is the
+// record format for committed BENCH_*.json perf-trajectory files.
+type Report struct {
+	Schema      string  `json:"schema"`
+	Full        bool    `json:"full"`
+	Experiments []Table `json:"experiments"`
+}
+
+// WriteJSON writes tables as an indented JSON Report.
+func WriteJSON(w io.Writer, full bool, tables []Table) error {
+	rep := Report{Schema: ReportSchema, Full: full, Experiments: tables}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }

@@ -186,6 +186,30 @@ func RSIMHierarchy() Config {
 	}
 }
 
+// Observer receives per-access telemetry callbacks from a Hierarchy.
+// All methods are invoked synchronously on the simulation's goroutine;
+// implementations must not call back into the hierarchy. A nil
+// observer (the default) costs one pointer comparison per event site,
+// so instrumentation is free when disabled.
+//
+// Package telemetry provides the standard implementation (3C miss
+// classification, set heatmaps, per-region attribution); the interface
+// lives here so the simulator core stays dependency-free.
+type Observer interface {
+	// OnAccess is reported once per demand access to a single block,
+	// after the access resolves. hitLevel is the index of the level
+	// that satisfied it, or -1 when it went to memory. Levels
+	// 0..hitLevel-1 (or all levels, when -1) missed.
+	OnAccess(addr memsys.Addr, kind AccessKind, hitLevel int)
+	// OnEvict is reported when a valid block is evicted from level;
+	// addr is the evicted block's base address.
+	OnEvict(level int, addr memsys.Addr, dirty bool)
+	// OnFill is reported when a block is installed at level.
+	// prefetch marks fills initiated by a prefetch rather than a
+	// demand access.
+	OnFill(level int, addr memsys.Addr, prefetch bool)
+}
+
 // line is one cache block's bookkeeping.
 type line struct {
 	valid      bool
@@ -236,6 +260,13 @@ func (l *level) setAndTag(addr memsys.Addr) (int64, int64) {
 	return blk % l.cfg.Sets(), blk / l.cfg.Sets()
 }
 
+// blockAddr inverts setAndTag: the base address of the block a
+// (set, tag) pair names. Eviction callbacks use it to report which
+// block a victim held.
+func (l *level) blockAddr(set, tag int64) memsys.Addr {
+	return memsys.Addr((tag*l.cfg.Sets() + set) * l.cfg.BlockSize)
+}
+
 // lookup returns the way holding addr, or -1.
 func (l *level) lookup(addr memsys.Addr) (set int64, way int) {
 	set, tag := l.setAndTag(addr)
@@ -283,12 +314,39 @@ func (s Stats) TotalCycles() int64 {
 	return s.BusyCycles + s.L1HitCycles + s.LoadStallCycles + s.StoreStall + s.PrefetchIssue
 }
 
+// Each yields every counter as a (name, value) pair — the publishing
+// path telemetry.Registry.Record consumes. Level counters are
+// prefixed with the level name ("L1.misses").
+func (s Stats) Each(f func(name string, v int64)) {
+	for i, l := range s.Levels {
+		p := fmt.Sprintf("L%d.", i+1)
+		f(p+"accesses", l.Accesses)
+		f(p+"hits", l.Hits)
+		f(p+"misses", l.Misses)
+		f(p+"evictions", l.Evictions)
+		f(p+"writebacks", l.Writebacks)
+		f(p+"prefetches", l.Prefetches)
+		f(p+"prefetch_hits", l.PrefetchHit)
+		f(p+"late_hits", l.LateHits)
+	}
+	f("tlb.accesses", s.TLBAccesses)
+	f("tlb.misses", s.TLBMisses)
+	f("cycles.busy", s.BusyCycles)
+	f("cycles.l1_hit", s.L1HitCycles)
+	f("cycles.load_stall", s.LoadStallCycles)
+	f("cycles.store_stall", s.StoreStall)
+	f("cycles.prefetch_issue", s.PrefetchIssue)
+	f("cycles.total", s.TotalCycles())
+	f("mem.accesses", s.MemAccesses)
+}
+
 // Hierarchy is a multi-level cache simulator with a cycle clock.
 type Hierarchy struct {
 	cfg    Config
 	levels []*level
 	now    int64
 	stats  Stats
+	obs    Observer // nil when telemetry is disabled
 
 	// TLB state: page number -> last use, bounded by cfg.TLB.Entries.
 	tlb map[int64]int64
@@ -323,6 +381,14 @@ func New(cfg Config) *Hierarchy {
 
 // Config returns the hierarchy's configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
+
+// SetObserver attaches (or, with nil, detaches) a telemetry observer.
+// Only one observer can be attached; compose externally if several
+// consumers are needed.
+func (h *Hierarchy) SetObserver(o Observer) { h.obs = o }
+
+// Observer returns the attached observer, or nil.
+func (h *Hierarchy) Observer() Observer { return h.obs }
 
 // Level returns the configuration of level i (0 = L1).
 func (h *Hierarchy) Level(i int) LevelConfig { return h.cfg.Levels[i] }
@@ -487,6 +553,10 @@ func (h *Hierarchy) accessOne(addr memsys.Addr, kind AccessKind) int64 {
 	// (inclusive hierarchy); fills complete when the access does.
 	h.install(addr, hitLevel, h.now+latency, kind, false)
 
+	if h.obs != nil {
+		h.obs.OnAccess(addr, kind, hitLevel)
+	}
+
 	// Attribute cycles: 1 L1-hit cycle per access, remainder is stall.
 	l1 := h.cfg.Levels[0].Latency
 	if latency < l1 {
@@ -519,6 +589,9 @@ func (h *Hierarchy) install(addr memsys.Addr, hitLevel int, ready int64, kind Ac
 			if ln.dirty {
 				h.stats.Levels[i].Writebacks++
 			}
+			if h.obs != nil {
+				h.obs.OnEvict(i, l.blockAddr(set, ln.tag), ln.dirty)
+			}
 		}
 		*ln = line{
 			valid:      true,
@@ -527,6 +600,9 @@ func (h *Hierarchy) install(addr memsys.Addr, hitLevel int, ready int64, kind Ac
 			fillReady:  ready,
 			dirty:      kind == Store && l.cfg.WriteBack,
 			prefetched: prefetched,
+		}
+		if h.obs != nil {
+			h.obs.OnFill(i, l.blockAddr(set, tag), prefetched)
 		}
 	}
 }
@@ -622,8 +698,14 @@ func (h *Hierarchy) prefetchInto(addr memsys.Addr, ready int64) {
 		if ln.dirty {
 			h.stats.Levels[last].Writebacks++
 		}
+		if h.obs != nil {
+			h.obs.OnEvict(last, l.blockAddr(set, ln.tag), ln.dirty)
+		}
 	}
 	*ln = line{valid: true, tag: tag, lastUse: h.now, fillReady: ready, prefetched: true}
+	if h.obs != nil {
+		h.obs.OnFill(last, l.blockAddr(set, tag), true)
+	}
 }
 
 // Contains reports whether addr's block is resident at level i.

@@ -1,6 +1,8 @@
 package cache
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"ccl/internal/memsys"
@@ -443,5 +445,142 @@ func TestPrefetchDroppedOnTLBMiss(t *testing.T) {
 	h.Prefetch(0x9040)
 	if !h.Contains(0, 0x9040) {
 		t.Fatal("prefetch on a TLB-resident page should fill")
+	}
+}
+
+func TestTotalCycles(t *testing.T) {
+	s := Stats{
+		BusyCycles:      100,
+		L1HitCycles:     10,
+		LoadStallCycles: 70,
+		StoreStall:      35,
+		PrefetchIssue:   5,
+	}
+	if got := s.TotalCycles(); got != 220 {
+		t.Fatalf("TotalCycles = %d, want 220 (sum of the five cycle buckets)", got)
+	}
+	// Accesses that stall must show up; Tick-only time must too.
+	h := tiny()
+	h.Tick(9)
+	h.Access(0x1000, 8, Load)  // 71: 1 L1-hit cycle + 70 load stall
+	h.Access(0x1000, 8, Store) // 1: L1 hit (write-through charges no stall on hit)
+	if got := h.Stats().TotalCycles(); got != 9+71+1 {
+		t.Fatalf("TotalCycles = %d, want 81", got)
+	}
+	if h.Stats().TotalCycles() != h.Now() {
+		t.Fatal("TotalCycles disagrees with the clock")
+	}
+}
+
+// recObserver records every callback for the observer tests.
+type recObserver struct {
+	accesses []string
+	evicts   []string
+	fills    []string
+}
+
+func (r *recObserver) OnAccess(addr memsys.Addr, kind AccessKind, hitLevel int) {
+	r.accesses = append(r.accesses, fmt.Sprintf("%s@%#x->%d", kind, int64(addr), hitLevel))
+}
+func (r *recObserver) OnEvict(level int, addr memsys.Addr, dirty bool) {
+	r.evicts = append(r.evicts, fmt.Sprintf("L%d@%#x dirty=%v", level+1, int64(addr), dirty))
+}
+func (r *recObserver) OnFill(level int, addr memsys.Addr, prefetch bool) {
+	r.fills = append(r.fills, fmt.Sprintf("L%d@%#x pf=%v", level+1, int64(addr), prefetch))
+}
+
+func TestObserverCallbacks(t *testing.T) {
+	h := tiny()
+	rec := &recObserver{}
+	h.SetObserver(rec)
+	if h.Observer() != rec {
+		t.Fatal("Observer() did not return the installed observer")
+	}
+
+	h.Access(0x1000, 8, Load) // cold: misses both levels, fills both
+	want := []string{"load@0x1000->-1"}
+	if len(rec.accesses) != 1 || rec.accesses[0] != want[0] {
+		t.Fatalf("accesses = %v, want %v", rec.accesses, want)
+	}
+	if len(rec.fills) != 2 {
+		t.Fatalf("cold access filled %d blocks, want 2 (one per level): %v", len(rec.fills), rec.fills)
+	}
+
+	h.Access(0x1000, 8, Load) // L1 hit
+	if got := rec.accesses[len(rec.accesses)-1]; got != "load@0x1000->0" {
+		t.Fatalf("hit access = %q, want load@0x1000->0", got)
+	}
+
+	// Evict 0x1000 from L1: tiny's L1 period is 256 B.
+	h.Access(0x1100, 8, Load)
+	found := false
+	for _, e := range rec.evicts {
+		if e == "L1@0x1000 dirty=false" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected L1 eviction of 0x1000, got %v", rec.evicts)
+	}
+
+	// Prefetch fills are flagged.
+	rec.fills = nil
+	h.Prefetch(0x5000)
+	if len(rec.fills) == 0 {
+		t.Fatal("prefetch produced no fills")
+	}
+	for _, f := range rec.fills {
+		if !strings.HasSuffix(f, "pf=true") {
+			t.Fatalf("prefetch fill not flagged: %q", f)
+		}
+	}
+
+	// Detaching stops the stream.
+	h.SetObserver(nil)
+	n := len(rec.accesses)
+	h.Access(0x1000, 8, Load)
+	if len(rec.accesses) != n {
+		t.Fatal("detached observer still invoked")
+	}
+}
+
+func TestObserverDirtyEviction(t *testing.T) {
+	h := tiny()
+	rec := &recObserver{}
+	h.SetObserver(rec)
+	h.Access(0x1000, 8, Store) // dirty in write-back L2
+	h.Access(0x1000+512, 8, Load)
+	found := false
+	for _, e := range rec.evicts {
+		if e == "L2@0x1000 dirty=true" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected dirty L2 eviction of 0x1000, got %v", rec.evicts)
+	}
+}
+
+func TestStatsEach(t *testing.T) {
+	h := tiny()
+	h.Tick(3)
+	h.Access(0x1000, 8, Load)
+	got := map[string]int64{}
+	h.Stats().Each(func(name string, v int64) {
+		if _, dup := got[name]; dup {
+			t.Fatalf("Each emitted %q twice", name)
+		}
+		got[name] = v
+	})
+	for name, want := range map[string]int64{
+		"L1.misses":    1,
+		"L2.misses":    1,
+		"mem.accesses": 1,
+		"cycles.busy":  3,
+		"cycles.total": h.Stats().TotalCycles(),
+	} {
+		if got[name] != want {
+			t.Errorf("Each[%q] = %d, want %d", name, got[name], want)
+		}
 	}
 }

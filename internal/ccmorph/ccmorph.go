@@ -92,6 +92,16 @@ type Stats struct {
 	NewBytes    int64 // bytes claimed for the new layout
 }
 
+// Each yields every counter as a (name, value) pair, the publishing
+// path telemetry.Registry.Record consumes.
+func (s Stats) Each(f func(name string, v int64)) {
+	f("nodes", s.Nodes)
+	f("clusters", s.Clusters)
+	f("hot_clusters", s.HotClusters)
+	f("nodes_per_block", s.NodesPerBlk)
+	f("new_bytes", s.NewBytes)
+}
+
 // Placer is a reusable placement context: the pair of colored segment
 // allocators (or the uncolored block bump) plus the remaining hot
 // budget. A one-shot Reorganize creates its own; callers morphing
@@ -163,6 +173,17 @@ func (p *Placer) Claimed() int64 {
 		return p.bump.Claimed()
 	}
 	return p.hot.Claimed() + p.cold.Claimed()
+}
+
+// Extents returns the arena ranges the placer has claimed so far —
+// the new layout's home — so callers can register the reorganized
+// structure as a telemetry region ("ctree-nodes") and see its misses
+// attributed separately from the old layout's.
+func (p *Placer) Extents() []memsys.AddrRange {
+	if p.bump != nil {
+		return p.bump.Extents()
+	}
+	return append(p.hot.Extents(), p.cold.Extents()...)
 }
 
 // ClusterCost is the busy-cycle charge per element for ccmorph's

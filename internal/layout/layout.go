@@ -103,6 +103,7 @@ type SegmentAllocator struct {
 	next     memsys.Addr // next candidate address (block aligned)
 	limit    memsys.Addr // end of the arena extent we own
 	claimed  int64       // bytes of arena claimed (footprint)
+	extents  []memsys.AddrRange
 }
 
 // NewSegmentAllocator returns an allocator for the hot or cold color
@@ -118,6 +119,12 @@ func NewSegmentAllocator(arena *memsys.Arena, c Coloring, hot bool) *SegmentAllo
 
 // Claimed returns the arena bytes claimed so far.
 func (s *SegmentAllocator) Claimed() int64 { return s.claimed }
+
+// Extents returns the arena ranges claimed so far, coalesced, so the
+// structures placed here can be registered with telemetry by range.
+func (s *SegmentAllocator) Extents() []memsys.AddrRange {
+	return append([]memsys.AddrRange(nil), s.extents...)
+}
 
 // inRegion reports whether a block starting at addr lies wholly in
 // this allocator's color region.
@@ -199,6 +206,17 @@ func (s *SegmentAllocator) grow(n int64) {
 	s.claimed += int64(end) - int64(start)
 	s.next = start
 	s.limit = end
+	s.extents = appendExtent(s.extents, start, end)
+}
+
+// appendExtent records [start, end), merging with the previous extent
+// when adjacent.
+func appendExtent(exts []memsys.AddrRange, start, end memsys.Addr) []memsys.AddrRange {
+	if n := len(exts); n > 0 && exts[n-1].End == start {
+		exts[n-1].End = end
+		return exts
+	}
+	return append(exts, memsys.AddrRange{Start: start, End: end})
 }
 
 // BlockBump hands out consecutive block-aligned cache blocks from
@@ -210,6 +228,7 @@ type BlockBump struct {
 	next      memsys.Addr
 	limit     memsys.Addr
 	claimed   int64
+	extents   []memsys.AddrRange
 }
 
 // NewBlockBump returns a block-granular bump allocator over arena.
@@ -223,6 +242,11 @@ func NewBlockBump(arena *memsys.Arena, blockSize int64) *BlockBump {
 // Claimed returns the arena bytes claimed so far.
 func (b *BlockBump) Claimed() int64 { return b.claimed }
 
+// Extents returns the arena ranges claimed so far, coalesced.
+func (b *BlockBump) Extents() []memsys.AddrRange {
+	return append([]memsys.AddrRange(nil), b.extents...)
+}
+
 // Alloc returns the next block-aligned cache block.
 func (b *BlockBump) Alloc() memsys.Addr {
 	if b.next.IsNil() || b.next.Add(b.blockSize) > b.limit {
@@ -231,6 +255,7 @@ func (b *BlockBump) Alloc() memsys.Addr {
 		b.claimed += int64(b.arena.Brk()) - int64(start)
 		b.next = start
 		b.limit = b.arena.Brk()
+		b.extents = appendExtent(b.extents, start, b.limit)
 	}
 	p := b.next
 	b.next = b.next.Add(b.blockSize)

@@ -33,6 +33,23 @@ func (a Addr) Add(n int64) Addr { return Addr(int64(a) + n) }
 // print a pointer.
 func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
 
+// AddrRange is a half-open span [Start, End) of the simulated address
+// space. Telemetry labels structures by the ranges their elements
+// occupy; allocators report the extents they claim as ranges.
+type AddrRange struct {
+	Start Addr
+	End   Addr // exclusive
+}
+
+// Contains reports whether a falls inside the range.
+func (r AddrRange) Contains(a Addr) bool { return a >= r.Start && a < r.End }
+
+// Len returns the range's size in bytes.
+func (r AddrRange) Len() int64 { return int64(r.End) - int64(r.Start) }
+
+// String formats the range as [start,end).
+func (r AddrRange) String() string { return fmt.Sprintf("[%v,%v)", r.Start, r.End) }
+
 // DefaultPageSize is the simulated virtual-memory page size. The
 // paper's system (Solaris on UltraSPARC) used 8 KB pages, and ccmorph
 // aligns its coloring gaps to page multiples, so the default matches.

@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"ccl/internal/cache"
+	"ccl/internal/memsys"
+)
+
+// lruEntry is one node of the shadow cache's recency list.
+type lruEntry struct {
+	block      int64
+	prev, next *lruEntry
+}
+
+// lruSet is a fixed-capacity fully-associative LRU set over block
+// numbers: the shadow cache the 3C classifier compares the real
+// (set-indexed) cache against. O(1) touch and evict.
+type lruSet struct {
+	capacity int
+	entries  map[int64]*lruEntry
+	head     *lruEntry // most recently used
+	tail     *lruEntry // least recently used
+}
+
+func newLRUSet(capacity int) *lruSet {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruSet{capacity: capacity, entries: make(map[int64]*lruEntry, capacity)}
+}
+
+func (s *lruSet) contains(block int64) bool {
+	_, ok := s.entries[block]
+	return ok
+}
+
+// touch makes block the most recently used entry, inserting it (and
+// evicting the LRU entry if full) when absent.
+func (s *lruSet) touch(block int64) {
+	if e, ok := s.entries[block]; ok {
+		s.unlink(e)
+		s.pushFront(e)
+		return
+	}
+	if len(s.entries) >= s.capacity {
+		lru := s.tail
+		s.unlink(lru)
+		delete(s.entries, lru.block)
+	}
+	e := &lruEntry{block: block}
+	s.entries[block] = e
+	s.pushFront(e)
+}
+
+func (s *lruSet) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *lruSet) pushFront(e *lruEntry) {
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+// levelTel is one cache level's telemetry state.
+type levelTel struct {
+	name      string
+	blockSize int64
+	shadow    *lruSet            // same capacity, fully associative
+	seen      map[int64]struct{} // blocks ever referenced at this level
+
+	accesses      int64
+	hits          int64
+	misses        int64
+	classes       [3]int64 // indexed by MissClass
+	fills         int64
+	prefetchFills int64
+}
+
+// heatCounters are the per-set counters of the last-level cache.
+type heatCounters struct {
+	sets      int64
+	blockSize int64
+	accesses  []int64
+	misses    []int64
+	conflicts []int64
+	evictions []int64
+}
+
+// Collector implements cache.Observer: it classifies every demand
+// miss (3C), maintains last-level per-set heatmaps, and charges
+// misses to registered address regions. Build one per measurement
+// phase via NewCollector/Attach; Reset discards counts but keeps the
+// shadow caches' contents (mirroring Hierarchy.ResetStats, so
+// steady-state phases can be measured without a cold shadow).
+type Collector struct {
+	cfg     cache.Config
+	levels  []*levelTel
+	heat    heatCounters
+	regions *RegionMap
+}
+
+var _ cache.Observer = (*Collector)(nil)
+
+// NewCollector builds a collector for a hierarchy with configuration
+// cfg. Attach it with Hierarchy.SetObserver (or use Attach).
+func NewCollector(cfg cache.Config) *Collector {
+	c := &Collector{cfg: cfg, regions: NewRegionMap(len(cfg.Levels))}
+	for _, lc := range cfg.Levels {
+		c.levels = append(c.levels, &levelTel{
+			name:      lc.Name,
+			blockSize: lc.BlockSize,
+			shadow:    newLRUSet(int(lc.Size / lc.BlockSize)),
+			seen:      map[int64]struct{}{},
+		})
+	}
+	last := cfg.Levels[len(cfg.Levels)-1]
+	c.heat = heatCounters{
+		sets:      last.Sets(),
+		blockSize: last.BlockSize,
+		accesses:  make([]int64, last.Sets()),
+		misses:    make([]int64, last.Sets()),
+		conflicts: make([]int64, last.Sets()),
+		evictions: make([]int64, last.Sets()),
+	}
+	return c
+}
+
+// Regions returns the collector's region map, for registering labeled
+// address ranges misses should be attributed to.
+func (c *Collector) Regions() *RegionMap { return c.regions }
+
+// Reset zeroes every counter (level, heatmap, and region) without
+// clearing the shadow caches or the region registrations, so a
+// steady-state phase can be isolated the way Hierarchy.ResetStats
+// isolates cycle counts.
+func (c *Collector) Reset() {
+	for _, lt := range c.levels {
+		lt.accesses, lt.hits, lt.misses = 0, 0, 0
+		lt.classes = [3]int64{}
+		lt.fills, lt.prefetchFills = 0, 0
+	}
+	for i := range c.heat.accesses {
+		c.heat.accesses[i] = 0
+		c.heat.misses[i] = 0
+		c.heat.conflicts[i] = 0
+		c.heat.evictions[i] = 0
+	}
+	c.regions.reset()
+}
+
+// classify assigns the 3C class of a miss at level li for block blk.
+// The caller has not yet touched the shadow cache for this access.
+func (lt *levelTel) classify(blk int64) MissClass {
+	if _, ok := lt.seen[blk]; !ok {
+		return Compulsory
+	}
+	if lt.shadow.contains(blk) {
+		// A fully-associative cache of the same capacity would have
+		// hit: the set mapping is at fault.
+		return Conflict
+	}
+	return Capacity
+}
+
+// OnAccess implements cache.Observer.
+func (c *Collector) OnAccess(addr memsys.Addr, kind cache.AccessKind, hitLevel int) {
+	last := len(c.levels) - 1
+	reg := c.regions.find(addr)
+	reg.accesses++
+	for i, lt := range c.levels {
+		if hitLevel != -1 && i > hitLevel {
+			break
+		}
+		lt.accesses++
+		blk := int64(addr) / lt.blockSize
+		if i == hitLevel {
+			lt.hits++
+		} else {
+			lt.misses++
+			cls := lt.classify(blk)
+			lt.classes[cls]++
+			reg.misses[i]++
+			if i == last {
+				reg.classes[cls]++
+				set := blk % c.heat.sets
+				c.heat.misses[set]++
+				if cls == Conflict {
+					c.heat.conflicts[set]++
+				}
+			}
+		}
+		if i == last {
+			c.heat.accesses[blk%c.heat.sets]++
+		}
+		lt.seen[blk] = struct{}{}
+		lt.shadow.touch(blk)
+	}
+}
+
+// OnEvict implements cache.Observer.
+func (c *Collector) OnEvict(level int, addr memsys.Addr, dirty bool) {
+	if level == len(c.levels)-1 {
+		set := (int64(addr) / c.heat.blockSize) % c.heat.sets
+		c.heat.evictions[set]++
+	}
+}
+
+// OnFill implements cache.Observer.
+func (c *Collector) OnFill(level int, addr memsys.Addr, prefetch bool) {
+	lt := c.levels[level]
+	lt.fills++
+	if prefetch {
+		lt.prefetchFills++
+	}
+}
+
+// Misses returns the 3C breakdown of demand misses at level i.
+func (c *Collector) Misses(i int) (compulsory, capacity, conflict int64) {
+	cl := c.levels[i].classes
+	return cl[Compulsory], cl[Capacity], cl[Conflict]
+}

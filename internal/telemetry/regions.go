@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+
+	"ccl/internal/memsys"
+)
+
+// Region is one labeled address range plus the miss traffic charged
+// to it. A label may be registered several times (a structure's
+// extents need not be contiguous); all of its ranges share one
+// counter record.
+type Region struct {
+	label    string
+	ranges   []memsys.AddrRange
+	bytes    int64
+	accesses int64
+	misses   []int64  // per cache level
+	classes  [3]int64 // 3C classes at the last level
+}
+
+// Label returns the region's name.
+func (r *Region) Label() string { return r.label }
+
+// Bytes returns the total registered size.
+func (r *Region) Bytes() int64 { return r.bytes }
+
+// OtherLabel is the implicit bucket charged with traffic to addresses
+// no registered region covers (allocator metadata, globals, scratch).
+const OtherLabel = "(other)"
+
+// RegionMap attributes memory traffic to labeled address ranges: the
+// "misses by structure" view. Experiments register each structure's
+// extents right after building it; every demand access is then
+// charged, via binary search over the sorted ranges, to the structure
+// that caused it.
+type RegionMap struct {
+	levels  int
+	sorted  []entry // by Start, non-overlapping
+	byLabel map[string]*Region
+	order   []*Region // registration order, for stable reports
+	other   *Region
+}
+
+type entry struct {
+	r   memsys.AddrRange
+	reg *Region
+}
+
+// NewRegionMap returns an empty map for a hierarchy with the given
+// number of cache levels.
+func NewRegionMap(levels int) *RegionMap {
+	m := &RegionMap{levels: levels, byLabel: map[string]*Region{}}
+	m.other = m.region(OtherLabel)
+	return m
+}
+
+func (m *RegionMap) region(label string) *Region {
+	if r, ok := m.byLabel[label]; ok {
+		return r
+	}
+	r := &Region{label: label, misses: make([]int64, m.levels)}
+	m.byLabel[label] = r
+	m.order = append(m.order, r)
+	return r
+}
+
+// Register adds the range [start, start+size) under label. Ranges
+// must not overlap an existing registration: a byte belongs to one
+// structure, and an overlap is a bookkeeping bug worth failing loudly
+// on. Registering more ranges under an existing label extends that
+// region.
+func (m *RegionMap) Register(label string, start memsys.Addr, size int64) {
+	if size <= 0 {
+		panic(fmt.Sprintf("telemetry: Register(%q, %v, %d): size must be positive", label, start, size))
+	}
+	m.RegisterRange(label, memsys.AddrRange{Start: start, End: start.Add(size)})
+}
+
+// RegisterRange is Register for a pre-built AddrRange.
+func (m *RegionMap) RegisterRange(label string, rng memsys.AddrRange) {
+	if rng.Len() <= 0 {
+		panic(fmt.Sprintf("telemetry: RegisterRange(%q, %v): empty range", label, rng))
+	}
+	i := sort.Search(len(m.sorted), func(i int) bool { return m.sorted[i].r.Start >= rng.Start })
+	if i > 0 && m.sorted[i-1].r.End > rng.Start {
+		panic(fmt.Sprintf("telemetry: range %v for %q overlaps %v (%q)",
+			rng, label, m.sorted[i-1].r, m.sorted[i-1].reg.label))
+	}
+	if i < len(m.sorted) && rng.End > m.sorted[i].r.Start {
+		panic(fmt.Sprintf("telemetry: range %v for %q overlaps %v (%q)",
+			rng, label, m.sorted[i].r, m.sorted[i].reg.label))
+	}
+	reg := m.region(label)
+	reg.ranges = append(reg.ranges, rng)
+	reg.bytes += rng.Len()
+	m.sorted = append(m.sorted, entry{})
+	copy(m.sorted[i+1:], m.sorted[i:])
+	m.sorted[i] = entry{r: rng, reg: reg}
+}
+
+// find returns the region charged for addr: the registered range
+// containing it, or the implicit "(other)" bucket.
+func (m *RegionMap) find(addr memsys.Addr) *Region {
+	i := sort.Search(len(m.sorted), func(i int) bool { return m.sorted[i].r.End > addr })
+	if i < len(m.sorted) && m.sorted[i].r.Contains(addr) {
+		return m.sorted[i].reg
+	}
+	return m.other
+}
+
+// reset zeroes every region's counters, keeping registrations.
+func (m *RegionMap) reset() {
+	for _, r := range m.order {
+		r.accesses = 0
+		for i := range r.misses {
+			r.misses[i] = 0
+		}
+		r.classes = [3]int64{}
+	}
+}

@@ -264,6 +264,16 @@ func (t *BST) Morph(colorFrac float64, freeOld func(memsys.Addr)) ccmorph.Stats 
 	return st
 }
 
+// MorphWith is Morph with a caller-supplied placement context. The
+// telemetry experiments use it to learn where the new layout lives
+// (Placer.Extents) so the reorganized structure can be registered as
+// its own miss-attribution region.
+func (t *BST) MorphWith(placer *ccmorph.Placer, freeOld func(memsys.Addr)) ccmorph.Stats {
+	newRoot, st := ccmorph.ReorganizeWith(t.m, t.root, Layout(), placer, freeOld)
+	t.root = newRoot
+	return st
+}
+
 // CheckSearchable verifies every key in [1, n] is reachable; tests
 // and examples call it after construction or morphing.
 func (t *BST) CheckSearchable() error {
