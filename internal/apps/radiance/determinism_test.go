@@ -1,0 +1,23 @@
+package radiance
+
+import (
+	"reflect"
+	"testing"
+
+	"ccl/internal/machine"
+)
+
+// TestSeedDeterminismAllModes strengthens TestDeterminism: every mode
+// must reproduce the full Result — including each cache level's
+// hit/miss/eviction counters — when rerun with the same seed.
+func TestSeedDeterminismAllModes(t *testing.T) {
+	for _, mode := range []Mode{Base, Cluster, ClusterColor} {
+		t.Run(mode.String(), func(t *testing.T) {
+			a := Run(machine.NewScaled(16), mode, small())
+			b := Run(machine.NewScaled(16), mode, small())
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("same-seed reruns diverged:\n  first:  %+v\n  second: %+v", a, b)
+			}
+		})
+	}
+}

@@ -1,0 +1,23 @@
+package vis
+
+import (
+	"reflect"
+	"testing"
+
+	"ccl/internal/machine"
+)
+
+// TestSeedDeterminism: same seed, same mode, byte-identical Result —
+// node counts, checksum, and every cache counter.
+func TestSeedDeterminism(t *testing.T) {
+	cfg := Config{Bits: 6, Evals: 500, Seed: 17}
+	for _, mode := range []Mode{Base, CCMalloc} {
+		t.Run(mode.String(), func(t *testing.T) {
+			a := Run(machine.NewScaled(16), mode, cfg)
+			b := Run(machine.NewScaled(16), mode, cfg)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("same-seed reruns diverged:\n  first:  %+v\n  second: %+v", a, b)
+			}
+		})
+	}
+}

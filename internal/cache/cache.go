@@ -342,11 +342,12 @@ func (s Stats) Each(f func(name string, v int64)) {
 
 // Hierarchy is a multi-level cache simulator with a cycle clock.
 type Hierarchy struct {
-	cfg    Config
-	levels []*level
-	now    int64
-	stats  Stats
-	obs    Observer // nil when telemetry is disabled
+	cfg      Config
+	levels   []*level
+	minBlock int64 // smallest block size of any level
+	now      int64
+	stats    Stats
+	obs      Observer // nil when telemetry is disabled
 
 	// TLB state: page number -> last use, bounded by cfg.TLB.Entries.
 	tlb map[int64]int64
@@ -365,9 +366,12 @@ func New(cfg Config) *Hierarchy {
 	if cfg.ROBLead == 0 {
 		cfg.ROBLead = 16
 	}
-	h := &Hierarchy{cfg: cfg}
+	h := &Hierarchy{cfg: cfg, minBlock: cfg.Levels[0].BlockSize}
 	for _, lc := range cfg.Levels {
 		h.levels = append(h.levels, newLevel(lc))
+		if lc.BlockSize < h.minBlock {
+			h.minBlock = lc.BlockSize
+		}
 	}
 	if cfg.TLB.Entries > 0 {
 		if cfg.TLB.PageSize <= 0 || cfg.TLB.Penalty < 0 {
@@ -440,17 +444,27 @@ func (h *Hierarchy) Tick(n int64) {
 	h.stats.BusyCycles += n
 }
 
-// blocksCovering yields the block-aligned addresses (at granularity of
-// the smallest block size) covering [addr, addr+size).
+// blocksCovering yields one sub-access address per block covering
+// [addr, addr+size) at the granularity of the hierarchy's smallest
+// block size, so each sub-access touches exactly one block at every
+// level. The first sub-access keeps the original address (its offset
+// cannot cross a block boundary at any level); the rest are aligned.
+//
+// Using L1's block size here was a bug the differential oracle
+// caught: with a lower level whose blocks are smaller than L1's, a
+// spanning access was simulated as a single access to the L1 block
+// base, touching the wrong small block and skipping the others. See
+// internal/oracle/testdata/blocks_covering_min.trace.
 func (h *Hierarchy) blocksCovering(addr memsys.Addr, size int64) []memsys.Addr {
-	b := h.cfg.Levels[0].BlockSize
+	b := h.minBlock
 	first := int64(addr) / b
 	last := (int64(addr) + size - 1) / b
 	if first == last {
 		return []memsys.Addr{addr}
 	}
 	out := make([]memsys.Addr, 0, last-first+1)
-	for blk := first; blk <= last; blk++ {
+	out = append(out, addr)
+	for blk := first + 1; blk <= last; blk++ {
 		out = append(out, memsys.Addr(blk*b))
 	}
 	return out

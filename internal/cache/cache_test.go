@@ -584,3 +584,48 @@ func TestStatsEach(t *testing.T) {
 		}
 	}
 }
+
+// TestBlocksCoveringMinBlockSize: a spanning access must be split at
+// the hierarchy's smallest block size, not L1's, and the first
+// sub-access must keep its unaligned address. With 8 B L2 blocks
+// under a 16 B L1, the old L1-granularity split simulated a [8,24)
+// access as a single access to the L1 block base 0 — filling the L2
+// block [0,8) that the access never touches and skipping [8,16).
+// Found by the differential oracle (internal/oracle).
+func TestBlocksCoveringMinBlockSize(t *testing.T) {
+	h := New(Config{
+		Levels: []LevelConfig{
+			{Name: "L1", Size: 64, Assoc: 1, BlockSize: 16, Latency: 1},
+			{Name: "L2", Size: 64, Assoc: 1, BlockSize: 8, Latency: 2},
+		},
+		MemLatency: 10,
+	})
+	h.Access(8, 16, Load) // covers L1 blocks {0,16}, L2 blocks {8,16}
+	s := h.Stats().Levels
+	if s[0].Accesses != 2 || s[1].Accesses != 2 {
+		t.Fatalf("accesses L1=%d L2=%d, want 2/2 (split at 8 B granularity)",
+			s[0].Accesses, s[1].Accesses)
+	}
+	if !h.Contains(1, 8) || !h.Contains(1, 16) {
+		t.Fatal("both touched 8 B L2 blocks of [8,24) should be resident")
+	}
+	if h.Contains(1, 0) {
+		t.Fatal("L2 block [0,8) was filled but never accessed")
+	}
+	// The first sub-access keeps its unaligned address: an offset
+	// within the smallest block cannot change any level's block.
+	h2 := New(Config{
+		Levels: []LevelConfig{
+			{Name: "L1", Size: 64, Assoc: 1, BlockSize: 16, Latency: 1},
+		},
+		MemLatency: 10,
+	})
+	var got []memsys.Addr
+	for _, a := range h2.blocksCovering(3, 17) {
+		got = append(got, a)
+	}
+	want := []memsys.Addr{3, 16}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("blocksCovering(3, 17) = %v, want %v", got, want)
+	}
+}

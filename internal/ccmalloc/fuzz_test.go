@@ -1,0 +1,38 @@
+package ccmalloc
+
+import (
+	"testing"
+)
+
+// FuzzCCMallocOps drives the allocator invariants from raw bytes: the
+// first byte picks the block-selection strategy, then each 3-byte
+// group becomes one alloc/free op. Any overlap, escape from the
+// arena, or bookkeeping-invariant break fails the target with the
+// offending op index in the error.
+func FuzzCCMallocOps(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0x02, 0x40, 0x00, 0x81, 0x10, 0x03})
+	f.Add([]byte{2, 0x02, 0x20, 0x07, 0x02, 0x20, 0x08, 0x81, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		strategies := []Strategy{Closest, FirstFit, NewBlock}
+		strategy := strategies[int(data[0])%len(strategies)]
+		var ops []heapOp
+		for off := 1; off+3 <= len(data); off += 3 {
+			b := data[off : off+3]
+			if b[0]&0x80 != 0 {
+				ops = append(ops, heapOp{Free: true, Ref: int(b[1])})
+			} else {
+				ops = append(ops, heapOp{
+					Size: 1 + int64(b[0]&0x7F)*int64(b[1]%5+1), // 1..~635, crosses blocks and pages
+					Ref:  int(b[2]),
+				})
+			}
+		}
+		if err := checkHeapOps(strategy, ops); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,29 @@
+package ccmorph
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReorganize derives a BST insertion sequence and a color
+// fraction from raw bytes and checks the semantics-preservation
+// property: reorganization must keep contents, in-order traversal,
+// and color discipline for every reachable topology.
+func FuzzReorganize(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0x10, 0x00, 0x08, 0x00, 0x18, 0x00})
+	f.Add([]byte{2, 0x01, 0x00, 0x02, 0x00, 0x03, 0x00, 0x04, 0x00, 0x05, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		colorFrac := float64(data[0]%3) * 0.25 // 0, .25, .5
+		var keys []uint32
+		for off := 1; off+2 <= len(data) && len(keys) < 2_000; off += 2 {
+			keys = append(keys, uint32(binary.LittleEndian.Uint16(data[off:])))
+		}
+		if err := checkMorphPreserves(keys, colorFrac); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,29 @@
+package heap
+
+import (
+	"testing"
+)
+
+// FuzzMallocOps drives the boundary-tag allocator from raw bytes:
+// each 3-byte group becomes one alloc/free op, and the replay checks
+// non-overlap, arena containment, usable-size coverage, and the
+// header/free-list invariants after every op.
+func FuzzMallocOps(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x08, 0x01, 0x00, 0x81, 0x00, 0x00, 0x08, 0x01, 0x00})
+	f.Add([]byte{0x7F, 0x04, 0x00, 0x01, 0x00, 0x00, 0x82, 0x01, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ops []mallocOp
+		for off := 0; off+3 <= len(data); off += 3 {
+			b := data[off : off+3]
+			if b[0]&0x80 != 0 {
+				ops = append(ops, mallocOp{Free: true, Ref: int(b[1])})
+			} else {
+				ops = append(ops, mallocOp{Size: 1 + int64(b[0]&0x7F)*int64(b[1]%9+1)})
+			}
+		}
+		if err := checkMallocOps(ops); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package heap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ccl/internal/memsys"
+	"ccl/internal/shrink"
+)
+
+// mallocOp mirrors ccmalloc's property-test op shape: Ref is reduced
+// modulo the live count at replay time, so any subsequence of a
+// failing sequence is itself replayable — the property shrinking
+// depends on that.
+type mallocOp struct {
+	Free bool
+	Size int64
+	Ref  int
+}
+
+func (o mallocOp) String() string {
+	if o.Free {
+		return fmt.Sprintf("free(#%d)", o.Ref)
+	}
+	return fmt.Sprintf("alloc(%d)", o.Size)
+}
+
+// checkMallocOps replays the sequence against a fresh boundary-tag
+// allocator: no two live chunks may overlap (including their usable
+// tails), every chunk stays inside the arena, usable size covers the
+// request, and the free-list/header invariants hold throughout.
+func checkMallocOps(ops []mallocOp) error {
+	arena := memsys.NewArena(0)
+	m := New(arena)
+	type obj struct {
+		addr memsys.Addr
+		size int64 // usable size
+	}
+	var live []obj
+	for i, op := range ops {
+		if op.Free {
+			if len(live) == 0 {
+				continue
+			}
+			j := op.Ref % len(live)
+			m.Free(live[j].addr)
+			live = append(live[:j], live[j+1:]...)
+		} else {
+			addr := m.Alloc(op.Size)
+			if addr.IsNil() {
+				return fmt.Errorf("op %d %v: allocation failed", i, op)
+			}
+			usable := m.UsableSize(addr)
+			if usable < op.Size {
+				return fmt.Errorf("op %d %v: usable size %d < requested %d", i, op, usable, op.Size)
+			}
+			if !arena.Mapped(addr, usable) {
+				return fmt.Errorf("op %d %v: chunk %v+%d not inside the arena", i, op, addr, usable)
+			}
+			for _, o := range live {
+				if int64(addr) < int64(o.addr)+o.size && int64(o.addr) < int64(addr)+usable {
+					return fmt.Errorf("op %d %v: chunk %v+%d overlaps live %v+%d",
+						i, op, addr, usable, o.addr, o.size)
+				}
+			}
+			live = append(live, obj{addr, usable})
+		}
+		if err := m.CheckInvariants(); err != nil {
+			return fmt.Errorf("op %d %v: %w", i, op, err)
+		}
+	}
+	return nil
+}
+
+// TestMallocNeverOverlapsProperty workouts the baseline allocator
+// with random alloc/free interleavings — including sizes around the
+// segregated-list boundaries and zero-ish tiny requests — and demands
+// the boundary-tag invariants after every step. Violations shrink to
+// a minimal op sequence.
+func TestMallocNeverOverlapsProperty(t *testing.T) {
+	shrink.Check(t, 31, 40,
+		func(rng *rand.Rand) []mallocOp {
+			ops := make([]mallocOp, 1+rng.Intn(500))
+			for i := range ops {
+				if rng.Intn(3) == 0 {
+					ops[i] = mallocOp{Free: true, Ref: rng.Intn(1 << 16)}
+				} else {
+					size := int64(1) << rng.Intn(10) // 1..512, hits list boundaries
+					size += rng.Int63n(17) - 8
+					if size < 1 {
+						size = 1
+					}
+					ops[i] = mallocOp{Size: size}
+				}
+			}
+			return ops
+		},
+		func(ops []mallocOp) bool { return checkMallocOps(ops) != nil })
+}
+
+// TestMallocShrinksFailingCase exercises shrinking on this op shape:
+// a synthetic failure tied to two frees in a row must shrink to an
+// alloc-bearing minimal sequence, not the whole run.
+func TestMallocShrinksFailingCase(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ops := make([]mallocOp, 100)
+	for i := range ops {
+		ops[i] = mallocOp{Size: 1 + rng.Int63n(64)}
+	}
+	needle := mallocOp{Size: 31337}
+	ops[83] = needle
+	fails := func(s []mallocOp) bool {
+		if checkMallocOps(s) != nil {
+			return true
+		}
+		for _, o := range s {
+			if o == needle {
+				return true
+			}
+		}
+		return false
+	}
+	min := shrink.Slice(ops, fails)
+	if len(min) != 1 || min[0] != needle {
+		t.Fatalf("shrunk to %v, want [%v]", min, needle)
+	}
+}

@@ -126,14 +126,16 @@ func (s *SegmentAllocator) Extents() []memsys.AddrRange {
 	return append([]memsys.AddrRange(nil), s.extents...)
 }
 
-// inRegion reports whether a block starting at addr lies wholly in
-// this allocator's color region.
-func (s *SegmentAllocator) inRegion(addr memsys.Addr) bool {
-	set := s.coloring.SetOf(addr)
+// runEnd returns the exclusive end of the contiguous color run
+// containing addr: the hot run ends where the cold stripe of its way
+// period begins, the cold run at the period boundary.
+func (s *SegmentAllocator) runEnd(addr memsys.Addr) memsys.Addr {
+	c := s.coloring
+	periodStart := (int64(addr) / c.wayPeriod()) * c.wayPeriod()
 	if s.hot {
-		return set < s.coloring.HotSets
+		return memsys.Addr(periodStart + c.HotSets*c.BlockSize)
 	}
-	return set >= s.coloring.HotSets
+	return memsys.Addr(periodStart + c.wayPeriod())
 }
 
 // skipToRegion advances addr (block-aligned) to the next block in the
@@ -181,14 +183,19 @@ func (s *SegmentAllocator) Alloc(n int64) memsys.Addr {
 			s.grow(n)
 			continue
 		}
-		last := c.BlockAlign(p.Add(n - 1))
-		if s.inRegion(last) {
+		// The extent must fit inside p's contiguous color run.
+		// Checking only the last block's color is not enough: an
+		// extent can leave the run, cross the other color's stripe,
+		// and end in the next period's run of the right color with
+		// every middle byte miscolored. (Found by the coloring
+		// property test — see TestSegmentAllocatorExtentStaysInRun.)
+		if p.Add(n) <= s.runEnd(p) {
 			s.next = memsys.Addr(alignUp(int64(p)+n, c.BlockSize))
 			return p
 		}
 		// Extent straddles out of the color run: jump to the start
 		// of the next run and retry (n <= runLen guarantees a fit).
-		s.next = s.skipToRegion(last.Add(c.BlockSize))
+		s.next = s.skipToRegion(s.runEnd(p))
 	}
 }
 

@@ -288,3 +288,33 @@ func TestColoredAllocatorsPartitionQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSegmentAllocatorExtentStaysInRun is the regression test for a
+// bug the coloring property test found: Alloc accepted an extent
+// whose last block was the right color but which crossed the other
+// color's stripe in the middle — e.g. with 128 sets of 16 B and 106
+// hot sets, a 1482-byte hot extent placed at period offset 896 ran
+// through cold sets [106,128) into the next period. Every byte of
+// every extent must map to the allocator's own color.
+func TestSegmentAllocatorExtentStaysInRun(t *testing.T) {
+	arena := memsys.NewArena(0)
+	col := Coloring{Geometry: Geometry{Sets: 128, Assoc: 2, BlockSize: 16}, HotSets: 106}
+	hot := NewSegmentAllocator(arena, col, true)
+	for _, n := range []int64{894, 1482} {
+		a := hot.Alloc(n)
+		for b := int64(0); b < n; b++ {
+			if !col.IsHot(a.Add(b)) {
+				t.Fatalf("hot extent %v+%d: byte %d in cold set %d", a, n, b, col.SetOf(a.Add(b)))
+			}
+		}
+	}
+	cold := NewSegmentAllocator(arena, col, false)
+	for _, n := range []int64{300, 352} {
+		a := cold.Alloc(n)
+		for b := int64(0); b < n; b++ {
+			if col.IsHot(a.Add(b)) {
+				t.Fatalf("cold extent %v+%d: byte %d in hot set %d", a, n, b, col.SetOf(a.Add(b)))
+			}
+		}
+	}
+}

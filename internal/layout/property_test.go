@@ -1,0 +1,123 @@
+package layout
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ccl/internal/memsys"
+	"ccl/internal/shrink"
+)
+
+// allocOp is one step of a randomized segment-allocation sequence.
+type allocOp struct {
+	Hot bool
+	N   int64
+}
+
+func (o allocOp) String() string {
+	color := "cold"
+	if o.Hot {
+		color = "hot"
+	}
+	return fmt.Sprintf("%s(%d)", color, o.N)
+}
+
+// checkColoringOps replays an allocation sequence against a hot and a
+// cold SegmentAllocator sharing one arena and returns an error if any
+// allocated byte lands in the other color's sets or any two
+// allocations overlap — the invariant behind §2.2's coloring: cold
+// data must never occupy the reserved (hot) sets, or the reservation
+// is worthless.
+func checkColoringOps(col Coloring, ops []allocOp) error {
+	arena := memsys.NewArena(0)
+	hot := NewSegmentAllocator(arena, col, true)
+	cold := NewSegmentAllocator(arena, col, false)
+	type ext struct {
+		a memsys.Addr
+		n int64
+	}
+	var got []ext
+	for i, op := range ops {
+		s := cold
+		if op.Hot {
+			s = hot
+		}
+		a := s.Alloc(op.N)
+		for b := int64(0); b < op.N; b++ {
+			if col.IsHot(a.Add(b)) != op.Hot {
+				return fmt.Errorf("op %d %v: byte %d of extent %v is in set %d (hot<%d), wrong color",
+					i, op, b, a, col.SetOf(a.Add(b)), col.HotSets)
+			}
+		}
+		for _, e := range got {
+			if int64(a) < int64(e.a)+e.n && int64(e.a) < int64(a)+op.N {
+				return fmt.Errorf("op %d %v: extent %v+%d overlaps %v+%d", i, op, a, op.N, e.a, e.n)
+			}
+		}
+		got = append(got, ext{a, op.N})
+	}
+	return nil
+}
+
+// TestColoringNeverMixesSetsProperty is the coloring metamorphic
+// property over random power-of-two geometries and random interleaved
+// hot/cold allocation sequences. Violations shrink to a minimal op
+// sequence before being reported.
+func TestColoringNeverMixesSetsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 40; round++ {
+		g := Geometry{
+			Sets:      2 << rng.Intn(8), // 2..512, power of two
+			Assoc:     1 + rng.Intn(4),
+			BlockSize: 8 << rng.Intn(4), // 8..64, power of two
+		}
+		frac := 0.1 + 0.8*rng.Float64()
+		col := NewColoring(g, frac)
+		hotCap := col.HotSets * g.BlockSize
+		coldCap := (g.Sets - col.HotSets) * g.BlockSize
+		shrink.Check(t, int64(round), 4,
+			func(rng *rand.Rand) []allocOp {
+				ops := make([]allocOp, 1+rng.Intn(60))
+				for i := range ops {
+					hot := rng.Intn(2) == 0
+					cap := coldCap
+					if hot {
+						cap = hotCap
+					}
+					ops[i] = allocOp{Hot: hot, N: 1 + rng.Int63n(cap)}
+				}
+				return ops
+			},
+			func(ops []allocOp) bool { return checkColoringOps(col, ops) != nil })
+	}
+}
+
+// TestColoringShrinksFailingCase drives the shrinking path with a
+// synthetic violation: a predicate that trips on one oversized hot
+// allocation must reduce the sequence to that single op.
+func TestColoringShrinksFailingCase(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ops := make([]allocOp, 80)
+	for i := range ops {
+		ops[i] = allocOp{Hot: rng.Intn(2) == 0, N: 1 + rng.Int63n(64)}
+	}
+	needle := allocOp{Hot: true, N: 4096}
+	ops[41] = needle
+	col := NewColoring(Geometry{Sets: 256, Assoc: 1, BlockSize: 64}, 0.5)
+	fails := func(s []allocOp) bool {
+		if checkColoringOps(col, s) != nil {
+			return true
+		}
+		for _, o := range s {
+			if o == needle {
+				return true
+			}
+		}
+		return false
+	}
+	min := shrink.Slice(ops, fails)
+	if len(min) != 1 || min[0] != needle {
+		t.Fatalf("shrunk to %v, want [%v]", min, needle)
+	}
+}

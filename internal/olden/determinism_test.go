@@ -1,0 +1,52 @@
+package olden_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ccl/internal/olden"
+	"ccl/internal/olden/health"
+	"ccl/internal/olden/mst"
+	"ccl/internal/olden/perimeter"
+	"ccl/internal/olden/treeadd"
+)
+
+// TestSeedDeterminism is the seed-determinism regression: two runs of
+// the same workload with the same seed and variant must produce a
+// byte-identical Result — checksum, heap footprint, and every
+// per-level cache counter. Figure 7 comparisons are meaningless if
+// reruns jitter, and the differential oracle relies on replays being
+// exact.
+func TestSeedDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every workload twice")
+	}
+	variants := []olden.Variant{olden.Base, olden.CCMallocClosest, olden.CCMorphClusterColor}
+	workloads := []struct {
+		name string
+		run  func(olden.Variant) olden.Result
+	}{
+		{"treeadd", func(v olden.Variant) olden.Result {
+			return treeadd.Run(olden.NewEnv(v, 16), treeadd.Config{Depth: 9, Repeats: 2})
+		}},
+		{"health", func(v olden.Variant) olden.Result {
+			return health.Run(olden.NewEnv(v, 16), health.Config{Levels: 3, Steps: 40, MorphInterval: 10, Seed: 1})
+		}},
+		{"mst", func(v olden.Variant) olden.Result {
+			return mst.Run(olden.NewEnv(v, 16), mst.Config{NumVert: 96, EdgesPer: 8, Buckets: 4, Seed: 3})
+		}},
+		{"perimeter", func(v olden.Variant) olden.Result {
+			return perimeter.Run(olden.NewEnv(v, 16), perimeter.Config{ImageSize: 128, Circles: 6, Repeats: 2, Seed: 5})
+		}},
+	}
+	for _, w := range workloads {
+		for _, v := range variants {
+			t.Run(w.name+"/"+v.Name(), func(t *testing.T) {
+				a, b := w.run(v), w.run(v)
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("same-seed reruns diverged:\n  first:  %+v\n  second: %+v", a, b)
+				}
+			})
+		}
+	}
+}

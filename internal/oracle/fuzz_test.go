@@ -1,0 +1,28 @@
+package oracle
+
+import (
+	"testing"
+)
+
+// FuzzDifferential feeds arbitrary bytes through the fuzz-input
+// mapping (trace.FromBytes) and replays the derived trace through
+// both simulators. Any divergence is a real bug in one of them; the
+// failing input is a complete reproduction (geometry + stream).
+//
+// The historical blocks_covering_min fixture came out of exactly this
+// loop: a geometry whose L2 blocks were smaller than L1's plus one
+// access spanning two of the small blocks.
+func FuzzDifferential(f *testing.F) {
+	// A geometry header alone (no records) and a couple of dense
+	// streams, including one that historically diverged: level byte
+	// 0x01 gives L1 16-byte blocks, 0x00 gives L2 8-byte blocks, and
+	// the record {addr=8, size=16} spans two 8-byte blocks.
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 1, 0, 0, 0, 0, 0, 0, 0, 8, 15})
+	f.Add([]byte{2, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 255, 254, 1, 2, 3, 4, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if d := DiffBytes(data); d != nil {
+			t.Fatal(d)
+		}
+	})
+}

@@ -1,0 +1,278 @@
+// Package oracle implements a deliberately naive reference cache
+// simulator and the differential runner that checks the production
+// simulator (internal/cache) against it.
+//
+// Every number this repository reports flows through internal/cache,
+// and later PRs will optimize its hot paths. The oracle is the
+// regression anchor: a second, independent implementation of the same
+// architectural contract — set-associative placement, true-LRU
+// replacement, write-allocate fills, inclusive installs, write-back
+// dirty tracking — written for obviousness instead of speed. Lookups
+// are plain linear scans over a flat line slice; there are no maps,
+// no tag/set decomposition in the stored state, and no fast paths.
+// If the two simulators ever disagree on any access's hit level, any
+// eviction, or any counter, one of them is wrong, and the divergence
+// comes with a replayable trace (internal/trace) that can be
+// minimized into a fixture.
+//
+// Scope: demand loads and stores. Prefetching and cycle accounting
+// are timing overlays on top of the architectural state and are
+// validated by internal/cache's own unit tests; the oracle checks the
+// state machine those overlays decorate.
+//
+// Timestamp note: the production simulator orders LRU recency by its
+// cycle clock, which advances by at least the L1 hit latency per
+// demand access. The oracle orders recency by a per-access sequence
+// number. The two orders agree exactly when every level's latency is
+// at least one cycle (so the clock strictly advances); the trace
+// generator guarantees that, and PaperHierarchy/RSIMHierarchy satisfy
+// it.
+package oracle
+
+import (
+	"fmt"
+
+	"ccl/internal/cache"
+	"ccl/internal/memsys"
+)
+
+// EventKind distinguishes the observer callbacks an access produces.
+type EventKind int
+
+const (
+	// EvEvict is a valid block leaving a level.
+	EvEvict EventKind = iota
+	// EvFill is a block installed at a level.
+	EvFill
+	// EvAccess is the access resolution itself.
+	EvAccess
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvEvict:
+		return "evict"
+	case EvFill:
+		return "fill"
+	case EvAccess:
+		return "access"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one observer callback, in a comparable form. The
+// production simulator's events are captured by a Recorder
+// (cache.Observer); the oracle emits the same stream from first
+// principles. Equal structs mean equal architectural behaviour.
+type Event struct {
+	Kind     EventKind
+	Level    int         // evict/fill: which level; access: hit level (-1 = memory)
+	Addr     memsys.Addr // block base address (evict/fill) or access address
+	Dirty    bool        // evict: victim was dirty
+	Store    bool        // access: demand store
+	Prefetch bool        // fill: installed by a prefetch (never, in oracle scope)
+}
+
+// String formats the event for divergence reports.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvEvict:
+		return fmt.Sprintf("evict L%d %v dirty=%v", e.Level+1, e.Addr, e.Dirty)
+	case EvFill:
+		return fmt.Sprintf("fill L%d %v prefetch=%v", e.Level+1, e.Addr, e.Prefetch)
+	default:
+		return fmt.Sprintf("access %v store=%v hit=%d", e.Addr, e.Store, e.Level)
+	}
+}
+
+// line is one cache block slot of the reference simulator. It stores
+// the absolute block number rather than a set/tag pair: the naive
+// representation shares nothing with the production simulator's.
+type line struct {
+	valid   bool
+	block   int64
+	dirty   bool
+	lastUse int64
+}
+
+// level is one reference cache level: a flat slice of sets*assoc
+// slots. Slot s*assoc+w is way w of set s.
+type level struct {
+	cfg   cache.LevelConfig
+	sets  int64
+	lines []line
+}
+
+// LevelStats is the subset of counters the oracle maintains — the
+// architectural ones, compared against cache.LevelStats.
+type LevelStats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64
+}
+
+// Oracle is the reference simulator for one cache hierarchy.
+type Oracle struct {
+	cfg      cache.Config
+	levels   []*level
+	seq      int64
+	stats    []LevelStats
+	minBlock int64
+}
+
+// New builds a reference simulator for cfg. Like cache.New it panics
+// on an invalid configuration.
+func New(cfg cache.Config) *Oracle {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	o := &Oracle{cfg: cfg, stats: make([]LevelStats, len(cfg.Levels))}
+	o.minBlock = cfg.Levels[0].BlockSize
+	for _, lc := range cfg.Levels {
+		sets := lc.Sets()
+		o.levels = append(o.levels, &level{
+			cfg:   lc,
+			sets:  sets,
+			lines: make([]line, sets*int64(lc.Assoc)),
+		})
+		if lc.BlockSize < o.minBlock {
+			o.minBlock = lc.BlockSize
+		}
+	}
+	return o
+}
+
+// Stats returns a copy of the per-level architectural counters.
+func (o *Oracle) Stats() []LevelStats {
+	return append([]LevelStats(nil), o.stats...)
+}
+
+// Contains reports whether addr's block is resident at level i, by
+// linear scan.
+func (o *Oracle) Contains(i int, addr memsys.Addr) bool {
+	return o.levels[i].find(int64(addr)/o.levels[i].cfg.BlockSize) >= 0
+}
+
+// find returns the slice index of block at this level, or -1,
+// scanning every line — the whole cache, not just one set. A block
+// can only legally reside in its own set, so the full scan finds
+// exactly what a set-indexed lookup would; it is just unmissably
+// correct.
+func (l *level) find(block int64) int {
+	for i := range l.lines {
+		if l.lines[i].valid && l.lines[i].block == block {
+			return i
+		}
+	}
+	return -1
+}
+
+// victim picks the replacement slot in block's set: the first invalid
+// way, else the first way with the minimal last-use stamp — the same
+// tie-break order (lowest way wins) as the production simulator.
+func (l *level) victim(block int64) int {
+	set := block % l.sets
+	base := int(set) * l.cfg.Assoc
+	best := base
+	for w := 0; w < l.cfg.Assoc; w++ {
+		ln := &l.lines[base+w]
+		if !ln.valid {
+			return base + w
+		}
+		if ln.lastUse < l.lines[best].lastUse {
+			best = base + w
+		}
+	}
+	return best
+}
+
+// Access replays one demand access of size bytes at addr and returns
+// the event stream it produces, in the production simulator's
+// callback order (per sub-block: evicts and fills by ascending level,
+// then the access resolution).
+func (o *Oracle) Access(addr memsys.Addr, size int64, kind cache.AccessKind) []Event {
+	if kind != cache.Load && kind != cache.Store {
+		panic(fmt.Sprintf("oracle: unsupported access kind %v", kind))
+	}
+	if size <= 0 {
+		panic("oracle: Access with non-positive size")
+	}
+	var events []Event
+	// One sub-access per covered block at the finest granularity any
+	// level tracks, so each sub-access touches exactly one block at
+	// every level.
+	first := int64(addr) / o.minBlock
+	last := (int64(addr) + size - 1) / o.minBlock
+	for blk := first; blk <= last; blk++ {
+		a := addr
+		if blk != first {
+			a = memsys.Addr(blk * o.minBlock)
+		}
+		events = o.accessOne(events, a, kind)
+	}
+	return events
+}
+
+// accessOne handles a demand access contained in a single block at
+// every level.
+func (o *Oracle) accessOne(events []Event, addr memsys.Addr, kind cache.AccessKind) []Event {
+	o.seq++
+	store := kind == cache.Store
+	hitLevel := -1
+	for i, l := range o.levels {
+		o.stats[i].Accesses++
+		block := int64(addr) / l.cfg.BlockSize
+		if idx := l.find(block); idx >= 0 {
+			o.stats[i].Hits++
+			ln := &l.lines[idx]
+			ln.lastUse = o.seq
+			if store && l.cfg.WriteBack {
+				ln.dirty = true
+			}
+			hitLevel = i
+			break
+		}
+		o.stats[i].Misses++
+	}
+
+	// Write-allocate fill into every level that missed.
+	top := hitLevel
+	if top == -1 {
+		top = len(o.levels)
+	}
+	for i := 0; i < top; i++ {
+		l := o.levels[i]
+		block := int64(addr) / l.cfg.BlockSize
+		idx := l.victim(block)
+		ln := &l.lines[idx]
+		if ln.valid {
+			o.stats[i].Evictions++
+			if ln.dirty {
+				o.stats[i].Writebacks++
+			}
+			events = append(events, Event{
+				Kind:  EvEvict,
+				Level: i,
+				Addr:  memsys.Addr(ln.block * l.cfg.BlockSize),
+				Dirty: ln.dirty,
+			})
+		}
+		*ln = line{
+			valid:   true,
+			block:   block,
+			dirty:   store && l.cfg.WriteBack,
+			lastUse: o.seq,
+		}
+		events = append(events, Event{
+			Kind:  EvFill,
+			Level: i,
+			Addr:  memsys.Addr(block * l.cfg.BlockSize),
+		})
+	}
+
+	return append(events, Event{Kind: EvAccess, Level: hitLevel, Addr: addr, Store: store})
+}

@@ -1,0 +1,207 @@
+package oracle
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ccl/internal/cache"
+	"ccl/internal/memsys"
+	"ccl/internal/trace"
+)
+
+// fixturePath holds the minimized trace of the first real divergence
+// the oracle found: blocksCovering split multi-block accesses at the
+// L1 block size instead of the hierarchy's minimum block size, so a
+// level with blocks smaller than L1's missed accesses to its extra
+// blocks. See TestFixtureBlocksCoveringMinBlock.
+const fixturePath = "testdata/blocks_covering_min.trace"
+
+// randomGeometry builds a small random hierarchy. Geometries are kept
+// tiny (at most a few hundred lines per level) so conflict misses and
+// evictions happen constantly; every level has latency >= 1 so the
+// production clock strictly advances (the LRU order precondition, see
+// the package comment).
+func randomGeometry(rng *rand.Rand) cache.Config {
+	nLevels := 1 + rng.Intn(3)
+	names := []string{"L1", "L2", "L3"}
+	var cfg cache.Config
+	for i := 0; i < nLevels; i++ {
+		block := int64(8) << rng.Intn(4) // 8..64
+		assoc := 1 + rng.Intn(4)
+		sets := int64(1 + rng.Intn(32))
+		cfg.Levels = append(cfg.Levels, cache.LevelConfig{
+			Name:      names[i],
+			Size:      sets * int64(assoc) * block,
+			Assoc:     assoc,
+			BlockSize: block,
+			Latency:   int64(1 + rng.Intn(4)),
+			WriteBack: rng.Intn(2) == 0,
+		})
+	}
+	cfg.MemLatency = 20
+	return cfg
+}
+
+// randomRecords builds an access stream over a 64 KB window with
+// sizes that regularly cross block boundaries.
+func randomRecords(rng *rand.Rand, n int) []trace.Record {
+	recs := make([]trace.Record, 0, n)
+	for i := 0; i < n; i++ {
+		k := trace.Load
+		if rng.Intn(2) == 0 {
+			k = trace.Store
+		}
+		recs = append(recs, trace.Record{
+			Kind: k,
+			Addr: memsys.Addr(rng.Intn(64 << 10)),
+			Size: int64(1 + rng.Intn(16)),
+		})
+	}
+	return recs
+}
+
+// TestDifferentialMillionAccesses is the acceptance gate: at least a
+// million accesses across at least twenty random geometries replayed
+// through both simulators with zero divergence.
+func TestDifferentialMillionAccesses(t *testing.T) {
+	const (
+		geometries = 24
+		perGeom    = 50_000 // 24 * 50k = 1.2M accesses
+	)
+	rng := rand.New(rand.NewSource(42))
+	for g := 0; g < geometries; g++ {
+		tr := trace.Trace{
+			Config:  randomGeometry(rng),
+			Records: randomRecords(rng, perGeom),
+		}
+		if d := Diff(tr); d != nil {
+			min := trace.Minimize(tr, func(c trace.Trace) bool { return Diff(c) != nil })
+			t.Fatalf("geometry %d: %v\nminimized to %d records: %v",
+				g, d, len(min.Records), min.Records)
+		}
+	}
+}
+
+// TestDifferentialPaperConfigs replays pseudo-random streams through
+// the two hierarchies the experiments actually use. PaperHierarchy
+// includes a TLB, which must not perturb architectural behaviour.
+func TestDifferentialPaperConfigs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  cache.Config
+	}{
+		{"paper", cache.PaperHierarchy()},
+		{"paper-scaled", cache.ScaledHierarchy(64)},
+		{"rsim", cache.RSIMHierarchy()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			tr := trace.Trace{Config: tc.cfg, Records: randomRecords(rng, 100_000)}
+			if d := Diff(tr); d != nil {
+				t.Fatal(d)
+			}
+		})
+	}
+}
+
+// TestFixtureBlocksCoveringMinBlock replays the minimized divergence
+// fixture. Before the fix, cache.Hierarchy split multi-block accesses
+// at the L1 block size; with an L2 whose blocks are smaller than
+// L1's, an access spanning two small blocks was simulated as one,
+// undercounting L2 activity. The fixture keeps that bug dead.
+func TestFixtureBlocksCoveringMinBlock(t *testing.T) {
+	tr, err := trace.ReadFile(fixturePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixture is only a reproduction if some level has blocks
+	// smaller than L1's and some access spans more than one of them.
+	minBlock := tr.Config.Levels[0].BlockSize
+	for _, l := range tr.Config.Levels {
+		if l.BlockSize < minBlock {
+			minBlock = l.BlockSize
+		}
+	}
+	if minBlock >= tr.Config.Levels[0].BlockSize && len(tr.Config.Levels) > 1 {
+		t.Fatalf("fixture lost its shape: min block %d not below L1 block %d",
+			minBlock, tr.Config.Levels[0].BlockSize)
+	}
+	spans := false
+	for _, r := range tr.Records {
+		if int64(r.Addr)/minBlock != (int64(r.Addr)+r.Size-1)/minBlock {
+			spans = true
+		}
+	}
+	if !spans {
+		t.Fatal("fixture lost its shape: no record spans two min-size blocks")
+	}
+	if d := Diff(tr); d != nil {
+		t.Fatal(d)
+	}
+}
+
+// TestOracleLRUBasics sanity-checks the reference simulator on its
+// own: fill a 1-set 2-way level, then force an eviction of the least
+// recently used block.
+func TestOracleLRUBasics(t *testing.T) {
+	cfg := cache.Config{
+		Levels: []cache.LevelConfig{
+			{Name: "L1", Size: 32, Assoc: 2, BlockSize: 16, Latency: 1, WriteBack: true},
+		},
+		MemLatency: 10,
+	}
+	o := New(cfg)
+	o.Access(0, 4, cache.Store) // fill way 0, dirty
+	o.Access(32, 4, cache.Load) // fill way 1
+	o.Access(0, 4, cache.Load)  // touch way 0: way 1 is now LRU
+	ev := o.Access(64, 4, cache.Load)
+	var evict *Event
+	for i := range ev {
+		if ev[i].Kind == EvEvict {
+			evict = &ev[i]
+		}
+	}
+	if evict == nil || evict.Addr != 32 || evict.Dirty {
+		t.Fatalf("want clean eviction of block 32, got %v", ev)
+	}
+	if !o.Contains(0, 0) || !o.Contains(0, 64) || o.Contains(0, 32) {
+		t.Fatal("residency after eviction is wrong")
+	}
+	s := o.Stats()[0]
+	if s.Accesses != 4 || s.Hits != 1 || s.Misses != 3 || s.Evictions != 1 || s.Writebacks != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestCaptureDivergenceFixture is the capture tool, not a test: run
+// with ORACLE_CAPTURE=1 to hunt for a divergence on random traces,
+// minimize it, and write it to testdata/. It was used (against the
+// pre-fix simulator) to produce the checked-in fixture, and exists so
+// the next divergence is a one-command capture.
+func TestCaptureDivergenceFixture(t *testing.T) {
+	if os.Getenv("ORACLE_CAPTURE") == "" {
+		t.Skip("set ORACLE_CAPTURE=1 to hunt and record a divergence fixture")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10_000; i++ {
+		tr := trace.Trace{
+			Config:  randomGeometry(rng),
+			Records: randomRecords(rng, 2_000),
+		}
+		if Diff(tr) == nil {
+			continue
+		}
+		min := trace.Minimize(tr, func(c trace.Trace) bool { return Diff(c) != nil })
+		if err := os.MkdirAll(filepath.Dir(fixturePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteFile(fixturePath, min); err != nil {
+			t.Fatal(err)
+		}
+		t.Fatalf("captured divergence (%d records) to %s: %v",
+			len(min.Records), fixturePath, Diff(min))
+	}
+	t.Log("no divergence found; simulators agree on 10k random traces")
+}

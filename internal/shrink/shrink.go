@@ -1,0 +1,91 @@
+// Package shrink reduces failing property-test inputs to minimal
+// reproductions. Property tests in this repository run randomized
+// operation sequences (allocations, tree inserts, accesses) against
+// an invariant; when a sequence fails, reporting the raw 500-step
+// input is useless. Shrink the sequence first, report the residue.
+//
+// The core is ddmin-style chunk removal (Slice) plus optional
+// per-element simplification (Elements); Check packages both into the
+// generate→test→shrink→report loop the property tests share.
+package shrink
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Slice returns a subsequence of in that still satisfies fails and
+// from which no contiguous chunk can be removed without the failure
+// disappearing (1-minimal under chunk removal). fails must be
+// deterministic; it is called O(n log n) times. If in itself does not
+// fail, it is returned unchanged.
+func Slice[T any](in []T, fails func([]T) bool) []T {
+	if !fails(in) {
+		return in
+	}
+	cur := append([]T(nil), in...)
+	for chunk := len(cur) / 2; chunk >= 1; {
+		removed := false
+		for start := 0; start+chunk <= len(cur); {
+			cand := make([]T, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[start+chunk:]...)
+			if fails(cand) {
+				cur = cand
+				removed = true
+				// Do not advance: the next chunk slid into place.
+				continue
+			}
+			start += chunk
+		}
+		if !removed {
+			chunk /= 2
+		} else if chunk > len(cur)/2 {
+			chunk = len(cur) / 2
+		}
+	}
+	return cur
+}
+
+// Elements simplifies each element in place while the slice keeps
+// failing: simpler yields candidate replacements for one element, in
+// decreasing preference, and the first candidate that preserves the
+// failure is kept. Run it after Slice — simplifying a short sequence
+// is cheap, simplifying a long one is wasted work.
+func Elements[T any](in []T, simpler func(T) []T, fails func([]T) bool) []T {
+	if !fails(in) {
+		return in
+	}
+	cur := append([]T(nil), in...)
+	for i := range cur {
+		for _, cand := range simpler(cur[i]) {
+			old := cur[i]
+			cur[i] = cand
+			if fails(cur) {
+				break
+			}
+			cur[i] = old
+		}
+	}
+	return cur
+}
+
+// Check runs the property over rounds random operation sequences and
+// fails the test with a shrunk reproduction on the first violation.
+// gen builds one sequence from the round's rng; fails reports whether
+// the sequence violates the property (it must be deterministic, since
+// shrinking replays it). The seed is explicit so a reported failure
+// names everything needed to replay it.
+func Check[T any](t *testing.T, seed int64, rounds int, gen func(*rand.Rand) []T, fails func([]T) bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for round := 0; round < rounds; round++ {
+		in := gen(rng)
+		if !fails(in) {
+			continue
+		}
+		min := Slice(in, fails)
+		t.Fatalf("property violated (seed %d, round %d); shrunk from %d to %d ops:\n%v",
+			seed, round, len(in), len(min), min)
+	}
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzTraceRoundTrip checks the codec's two safety properties on
+// arbitrary input: (1) Decode never panics and either rejects the
+// input or returns a validated trace; (2) every trace derived via
+// FromBytes survives Encode/Decode byte- and value-identically.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add(sampleTrace().Encode())
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 255, 254, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if dec, err := Decode(data); err == nil {
+			if verr := dec.Config.Validate(); verr != nil {
+				t.Fatalf("Decode accepted invalid config: %v", verr)
+			}
+			re := dec.Encode()
+			dec2, err := Decode(re)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if !reflect.DeepEqual(dec, dec2) {
+				t.Fatal("decode/encode/decode not a fixpoint")
+			}
+		}
+		tr, ok := FromBytes(data)
+		if !ok {
+			return
+		}
+		enc := tr.Encode()
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decoding FromBytes trace: %v", err)
+		}
+		if !reflect.DeepEqual(normalize(tr), normalize(dec)) {
+			t.Fatalf("round trip changed trace:\ngot  %+v\nwant %+v", dec, tr)
+		}
+		if !bytes.Equal(enc, dec.Encode()) {
+			t.Fatal("re-encoding is not byte-identical")
+		}
+	})
+}
+
+// normalize maps nil and empty record slices to the same value:
+// the codec does not distinguish them.
+func normalize(t Trace) Trace {
+	if len(t.Records) == 0 {
+		t.Records = nil
+	}
+	return t
+}

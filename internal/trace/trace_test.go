@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ccl/internal/cache"
+	"ccl/internal/memsys"
+)
+
+func sampleTrace() Trace {
+	return Trace{
+		Config: cache.Config{
+			Levels: []cache.LevelConfig{
+				{Name: "L1", Size: 1 << 10, Assoc: 2, BlockSize: 16, Latency: 1},
+				{Name: "L2", Size: 8 << 10, Assoc: 4, BlockSize: 64, Latency: 6, WriteBack: true},
+			},
+			MemLatency: 50,
+		},
+		Records: []Record{
+			{Kind: Load, Addr: 8192, Size: 4},
+			{Kind: Store, Addr: 8200, Size: 8},
+			{Kind: Load, Addr: 64, Size: 16},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	got, err := Decode(tr.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("round trip changed trace:\ngot  %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	enc := sampleTrace().Encode()
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("not a trace at all")},
+		{"truncated header", enc[:len(magic)+1]},
+		{"truncated records", enc[:len(enc)-2]},
+		{"trailing garbage", append(append([]byte(nil), enc...), 0xFF)},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.data); err == nil {
+			t.Errorf("%s: Decode accepted corrupt input", c.name)
+		}
+	}
+}
+
+func TestDecodeRejectsInvalidConfig(t *testing.T) {
+	tr := sampleTrace()
+	tr.Config.Levels[0].BlockSize = 24 // not a power of two
+	if _, err := Decode(tr.Encode()); err == nil {
+		t.Fatal("Decode accepted a config its own validator rejects")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.trace")
+	tr := sampleTrace()
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("file round trip changed trace")
+	}
+}
+
+func TestFromBytesAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		data := make([]byte, rng.Intn(256))
+		rng.Read(data)
+		tr, ok := FromBytes(data)
+		if !ok {
+			if len(data) >= geomBytes {
+				t.Fatalf("FromBytes rejected %d bytes", len(data))
+			}
+			continue
+		}
+		if err := tr.Config.Validate(); err != nil {
+			t.Fatalf("FromBytes produced invalid config: %v", err)
+		}
+		for _, l := range tr.Config.Levels {
+			if l.Latency < 1 {
+				t.Fatalf("FromBytes produced zero-latency level %q", l.Name)
+			}
+		}
+		for _, r := range tr.Records {
+			if r.Size <= 0 {
+				t.Fatalf("FromBytes produced record with size %d", r.Size)
+			}
+		}
+		if wantRecs := (len(data) - geomBytes) / recBytes; len(tr.Records) != wantRecs {
+			t.Fatalf("FromBytes: %d records from %d bytes, want %d", len(tr.Records), len(data), wantRecs)
+		}
+	}
+}
+
+func TestFromBytesDeterministic(t *testing.T) {
+	data := []byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 255, 254, 1, 2, 3}
+	a, _ := FromBytes(data)
+	b, _ := FromBytes(data)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("FromBytes is not deterministic")
+	}
+}
+
+// TestMinimizeFindsSingleRecord: a synthetic failure predicate that
+// triggers whenever a specific record is present must minimize to
+// exactly that record.
+func TestMinimizeFindsSingleRecord(t *testing.T) {
+	tr := sampleTrace()
+	var recs []Record
+	for i := 0; i < 100; i++ {
+		recs = append(recs, Record{Kind: Load, Addr: memsys.Addr(64 * i), Size: 4})
+	}
+	needle := Record{Kind: Store, Addr: 4242, Size: 8}
+	recs = append(recs[:37], append([]Record{needle}, recs[37:]...)...)
+	tr.Records = recs
+
+	fails := func(c Trace) bool {
+		for _, r := range c.Records {
+			if r == needle {
+				return true
+			}
+		}
+		return false
+	}
+	min := Minimize(tr, fails)
+	if len(min.Records) != 1 || min.Records[0] != needle {
+		t.Fatalf("minimized to %v, want just %v", min.Records, needle)
+	}
+	if !reflect.DeepEqual(min.Config, tr.Config) {
+		t.Fatal("Minimize changed the geometry")
+	}
+}
+
+// TestMinimizeOrderedPair: failures needing two records in order must
+// keep both.
+func TestMinimizeOrderedPair(t *testing.T) {
+	tr := sampleTrace()
+	tr.Records = nil
+	for i := 0; i < 60; i++ {
+		tr.Records = append(tr.Records, Record{Kind: Load, Addr: memsys.Addr(16 * i), Size: 4})
+	}
+	a := Record{Kind: Store, Addr: 111, Size: 1}
+	b := Record{Kind: Store, Addr: 222, Size: 2}
+	tr.Records[10], tr.Records[50] = a, b
+
+	fails := func(c Trace) bool {
+		ai := -1
+		for i, r := range c.Records {
+			if r == a {
+				ai = i
+			}
+			if r == b && ai >= 0 {
+				return true
+			}
+		}
+		return false
+	}
+	min := Minimize(tr, fails)
+	if len(min.Records) != 2 || min.Records[0] != a || min.Records[1] != b {
+		t.Fatalf("minimized to %v, want [%v %v]", min.Records, a, b)
+	}
+}
+
+func TestMinimizeNonFailingUnchanged(t *testing.T) {
+	tr := sampleTrace()
+	min := Minimize(tr, func(Trace) bool { return false })
+	if !reflect.DeepEqual(min, tr) {
+		t.Fatal("Minimize altered a non-failing trace")
+	}
+}

@@ -1,0 +1,34 @@
+package trees
+
+import (
+	"reflect"
+	"testing"
+
+	"ccl/internal/heap"
+	"ccl/internal/machine"
+)
+
+// TestSeedDeterminism: building the same tree from the same seed and
+// replaying the same searches must leave byte-identical cache stats.
+// All simulator randomness flows through explicit seeds; anything
+// else (map iteration, address jitter) would break trace replay.
+func TestSeedDeterminism(t *testing.T) {
+	run := func(order Order) (machineStats any, hits int) {
+		m := machine.NewScaled(16)
+		tr := Build(m, heap.New(m.Arena), 400, order, 42)
+		for k := uint32(0); k < 800; k++ {
+			if tr.Search(k) {
+				hits++
+			}
+		}
+		return m.Stats(), hits
+	}
+	for _, order := range []Order{RandomOrder, DepthFirstOrder, LevelOrder} {
+		s1, h1 := run(order)
+		s2, h2 := run(order)
+		if h1 != h2 || !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("order %v: same-seed reruns diverged (hits %d vs %d)\n  first:  %+v\n  second: %+v",
+				order, h1, h2, s1, s2)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package trees
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ccl/internal/heap"
+	"ccl/internal/machine"
+	"ccl/internal/memsys"
+	"ccl/internal/shrink"
+)
+
+// morphCase is one randomized build-and-morph scenario. The property
+// tests shrink over slices of these, so a violation reports the
+// single (n, order, seed, colorFrac) combination that triggers it.
+type morphCase struct {
+	N         int64
+	Order     Order
+	Seed      int64
+	ColorFrac float64
+}
+
+func (c morphCase) String() string {
+	return fmt.Sprintf("{n=%d %v seed=%d frac=%.2f}", c.N, c.Order, c.Seed, c.ColorFrac)
+}
+
+// inOrderKeys walks the tree through the arena (uncharged; this is
+// verification, not workload).
+func inOrderKeys(m *machine.Machine, root memsys.Addr) []uint32 {
+	var keys []uint32
+	var walk func(a memsys.Addr)
+	walk = func(a memsys.Addr) {
+		if a.IsNil() {
+			return
+		}
+		walk(m.Arena.LoadAddr(a.Add(bstOffLeft)))
+		keys = append(keys, m.Arena.Load32(a.Add(bstOffKey)))
+		walk(m.Arena.LoadAddr(a.Add(bstOffRight)))
+	}
+	walk(root)
+	return keys
+}
+
+// checkMorphCase builds the tree, morphs it, and returns an error if
+// reorganization broke searchability, changed the in-order key
+// sequence (which for Build is always 1..N), or lost nodes.
+func checkMorphCase(c morphCase) error {
+	m := machine.NewScaled(64)
+	alloc := heap.New(m.Arena)
+	tr := Build(m, alloc, c.N, c.Order, c.Seed)
+	before := inOrderKeys(m, tr.Root())
+	if int64(len(before)) != c.N {
+		return fmt.Errorf("%v: built %d keys, want %d", c, len(before), c.N)
+	}
+	st := tr.Morph(c.ColorFrac, alloc.Free)
+	if st.Nodes != c.N {
+		return fmt.Errorf("%v: morph visited %d nodes, want %d", c, st.Nodes, c.N)
+	}
+	after := inOrderKeys(m, tr.Root())
+	if len(after) != len(before) {
+		return fmt.Errorf("%v: in-order walk has %d keys after morph, want %d", c, len(after), len(before))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			return fmt.Errorf("%v: in-order key %d changed: %d -> %d", c, i, before[i], after[i])
+		}
+	}
+	if err := tr.CheckSearchable(); err != nil {
+		return fmt.Errorf("%v: %w", c, err)
+	}
+	if err := alloc.CheckInvariants(); err != nil {
+		return fmt.Errorf("%v: heap corrupted by morph-time frees: %w", c, err)
+	}
+	return nil
+}
+
+// TestMorphSearchableProperty: for random tree sizes, allocation
+// orders, seeds, and color fractions, a morphed tree must stay a
+// search tree over exactly the same keys. This is the user-visible
+// face of ccmorph's semantics-preservation guarantee.
+func TestMorphSearchableProperty(t *testing.T) {
+	orders := []Order{RandomOrder, DepthFirstOrder, LevelOrder}
+	shrink.Check(t, 17, 8,
+		func(rng *rand.Rand) []morphCase {
+			cases := make([]morphCase, 1+rng.Intn(6))
+			for i := range cases {
+				cases[i] = morphCase{
+					N:         1 + rng.Int63n(500),
+					Order:     orders[rng.Intn(len(orders))],
+					Seed:      rng.Int63n(1 << 20),
+					ColorFrac: float64(rng.Intn(3)) * 0.25, // 0, .25, .5
+				}
+			}
+			return cases
+		},
+		func(cases []morphCase) bool {
+			for _, c := range cases {
+				if checkMorphCase(c) != nil {
+					return true
+				}
+			}
+			return false
+		})
+}
+
+// TestMorphShrinksFailingCase: the shrinking path over morph cases
+// must isolate a single offending case from a batch.
+func TestMorphShrinksFailingCase(t *testing.T) {
+	var cases []morphCase
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 30; i++ {
+		cases = append(cases, morphCase{N: 1 + rng.Int63n(50), Order: DepthFirstOrder})
+	}
+	needle := morphCase{N: 999_999, Order: RandomOrder, Seed: 1}
+	cases[12] = needle
+	fails := func(cs []morphCase) bool {
+		for _, c := range cs {
+			if c == needle {
+				return true
+			}
+			if c.N <= 500 && checkMorphCase(c) != nil {
+				return true
+			}
+		}
+		return false
+	}
+	min := shrink.Slice(cases, fails)
+	if len(min) != 1 || min[0] != needle {
+		t.Fatalf("shrunk to %v, want [%v]", min, needle)
+	}
+}
