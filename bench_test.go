@@ -4,6 +4,7 @@
 package ccl_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -18,12 +19,22 @@ import (
 	"ccl/internal/olden/treeadd"
 )
 
+// must adapts the facade's checked calls to benchmark code, which
+// sizes every workload within the arena by construction (DESIGN.md
+// §7): a failure here is a harness bug, so failing fast is correct.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // --- substrate microbenchmarks ---
 
 func BenchmarkCacheAccess(b *testing.B) {
 	m := ccl.NewScaledMachine(16)
 	alloc := ccl.NewMalloc(m)
-	p := alloc.Alloc(1 << 16)
+	p := must(alloc.Alloc(1 << 16))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.LoadInt(p.Add(int64(i*8) % (1 << 16)))
@@ -35,18 +46,18 @@ func BenchmarkMallocAllocFree(b *testing.B) {
 	alloc := ccl.NewMalloc(m)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p := alloc.Alloc(24)
+		p := must(alloc.Alloc(24))
 		alloc.Free(p)
 	}
 }
 
 func BenchmarkCCMallocHinted(b *testing.B) {
 	m := ccl.NewScaledMachine(16)
-	alloc := ccl.NewCCMalloc(m, ccl.NewBlock)
-	prev := alloc.Alloc(24)
+	alloc := must(ccl.NewCCMalloc(m, ccl.NewBlock))
+	prev := must(alloc.Alloc(24))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p := alloc.AllocHint(24, prev)
+		p := must(alloc.AllocHint(24, prev))
 		alloc.Free(prev)
 		prev = p
 	}
@@ -55,7 +66,7 @@ func BenchmarkCCMallocHinted(b *testing.B) {
 func BenchmarkCCMorphReorganize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m := ccl.NewScaledMachine(32)
-		t := ccl.BuildBST(m, ccl.NewMalloc(m), 1<<12-1, ccl.RandomOrder, 1)
+		t := must(ccl.BuildBST(m, ccl.NewMalloc(m), 1<<12-1, ccl.RandomOrder, 1))
 		t.Morph(0.5, nil)
 	}
 }
@@ -77,27 +88,29 @@ func fig5Search(b *testing.B, build func(m *ccl.Machine) func(uint32) bool) {
 
 func BenchmarkFig5RandomTree(b *testing.B) {
 	fig5Search(b, func(m *ccl.Machine) func(uint32) bool {
-		return ccl.BuildBST(m, ccl.NewMalloc(m), 1<<16-1, ccl.RandomOrder, 11).Search
+		return must(ccl.BuildBST(m, ccl.NewMalloc(m), 1<<16-1, ccl.RandomOrder, 11)).Search
 	})
 }
 
 func BenchmarkFig5DepthFirstTree(b *testing.B) {
 	fig5Search(b, func(m *ccl.Machine) func(uint32) bool {
-		return ccl.BuildBST(m, ccl.NewMalloc(m), 1<<16-1, ccl.DepthFirstOrder, 11).Search
+		return must(ccl.BuildBST(m, ccl.NewMalloc(m), 1<<16-1, ccl.DepthFirstOrder, 11)).Search
 	})
 }
 
 func BenchmarkFig5BTree(b *testing.B) {
 	fig5Search(b, func(m *ccl.Machine) func(uint32) bool {
-		t := ccl.NewBTree(m, 0.5)
-		t.BulkLoad(1<<16-1, 0.67)
+		t := must(ccl.NewBTree(m, 0.5))
+		if err := t.BulkLoad(1<<16-1, 0.67); err != nil {
+			panic(err)
+		}
 		return t.Search
 	})
 }
 
 func BenchmarkFig5CTree(b *testing.B) {
 	fig5Search(b, func(m *ccl.Machine) func(uint32) bool {
-		t := ccl.BuildBST(m, ccl.NewMalloc(m), 1<<16-1, ccl.RandomOrder, 11)
+		t := must(ccl.BuildBST(m, ccl.NewMalloc(m), 1<<16-1, ccl.RandomOrder, 11))
 		t.Morph(0.5, nil)
 		return t.Search
 	})
@@ -162,7 +175,7 @@ func BenchmarkFig7Perimeter(b *testing.B) {
 
 func BenchmarkFig10ModelValidation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := bench.Fig10(false)
+		tab := bench.Fig10(context.Background(), false)
 		if len(tab.Rows) == 0 {
 			b.Fatal("fig10 produced no rows")
 		}
@@ -181,7 +194,7 @@ func BenchmarkTable1Params(b *testing.B) {
 
 func BenchmarkTable2Characteristics(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if len(bench.Table2(false).Rows) != 4 {
+		if len(bench.Table2(context.Background(), false).Rows) != 4 {
 			b.Fatal("table2 should have four rows")
 		}
 	}

@@ -21,15 +21,17 @@
 // Quickstart:
 //
 //	m := ccl.NewPaperMachine()
-//	alloc := ccl.NewCCMalloc(m, ccl.NewBlock)
-//	head := alloc.AllocHint(16, seed) // near an existing element
-//	cell := alloc.AllocHint(16, head) // co-located with head
+//	alloc, err := ccl.NewCCMalloc(m, ccl.NewBlock)
+//	head, err := alloc.AllocHint(16, seed) // near an existing element
+//	cell, err := alloc.AllocHint(16, head) // co-located with head
 //
-// See examples/ for complete programs.
+// Failures carry typed sentinels (ErrOutOfMemory, ErrPlacementFailed,
+// ...) matchable with errors.Is; see examples/ for complete programs.
 package ccl
 
 import (
 	"ccl/internal/cache"
+	"ccl/internal/cclerr"
 	"ccl/internal/ccmalloc"
 	"ccl/internal/ccmorph"
 	"ccl/internal/heap"
@@ -113,8 +115,10 @@ func NewMalloc(m *Machine) *Malloc { return heap.New(m.Arena) }
 
 // NewCCMalloc returns a cache-conscious allocator targeting the
 // machine's last-level cache, charging its bookkeeping cost to the
-// machine's clock.
-func NewCCMalloc(m *Machine, s Strategy) *CCMalloc {
+// machine's clock. It fails with ErrBadGeometry when the cache's
+// placement geometry is unusable and ErrInvalidArg for an unknown
+// strategy.
+func NewCCMalloc(m *Machine, s Strategy) (*CCMalloc, error) {
 	return ccmalloc.New(m.Arena, layout.FromLevel(m.Cache.LastLevel()), s, m.Cache)
 }
 
@@ -134,15 +138,19 @@ type (
 
 // Reorganize transparently rewrites the tree rooted at root into a
 // cache-conscious layout (subtree clustering, plus coloring when
-// cfg.ColorFrac > 0) and returns the new root.
+// cfg.ColorFrac > 0) and returns the new root. Reorganization is
+// copy-then-commit: on any error (ErrNotTree for non-tree-shaped
+// inputs, ErrPlacementFailed or ErrOutOfMemory for placement
+// failures) the original root is returned and the structure is
+// untouched and still traversable.
 func Reorganize(m *Machine, root Addr, lay StructureLayout, cfg MorphConfig,
-	freeOld func(Addr)) (Addr, MorphStats) {
+	freeOld func(Addr)) (Addr, MorphStats, error) {
 	return ccmorph.Reorganize(m, root, lay, cfg, freeOld)
 }
 
 // NewPlacer builds a shareable placement context over the machine's
-// arena.
-func NewPlacer(m *Machine, cfg MorphConfig) *Placer {
+// arena. It fails with ErrBadGeometry when cfg's geometry is unusable.
+func NewPlacer(m *Machine, cfg MorphConfig) (*Placer, error) {
 	return ccmorph.NewPlacer(m.Arena, cfg)
 }
 
@@ -191,21 +199,51 @@ const (
 )
 
 // BuildBST builds a balanced BST of keys 1..n with the given
-// allocation order.
-func BuildBST(m *Machine, alloc Allocator, n int64, order BuildOrder, seed int64) *BST {
+// allocation order. It fails with ErrInvalidArg for a non-positive n
+// or unknown order; allocation failures propagate.
+func BuildBST(m *Machine, alloc Allocator, n int64, order BuildOrder, seed int64) (*BST, error) {
 	return trees.Build(m, alloc, n, order, seed)
 }
 
 // NewBTree returns an empty B-tree whose nodes are single cache
 // blocks; colorFrac > 0 reserves that cache fraction for the
-// root-most nodes.
-func NewBTree(m *Machine, colorFrac float64) *BTree {
+// root-most nodes. It fails with ErrBadGeometry when a block cannot
+// hold even one key.
+func NewBTree(m *Machine, colorFrac float64) (*BTree, error) {
 	return trees.NewBTree(m, colorFrac)
 }
 
 // BSTLayout returns the CCMorph template for BST nodes, for use with
 // Reorganize.
 func BSTLayout() StructureLayout { return trees.Layout() }
+
+// Error taxonomy. Every library failure wraps exactly one of these
+// sentinels (match with errors.Is); injected faults additionally wrap
+// ErrFaultInjected alongside the operational sentinel they simulate.
+var (
+	// ErrOutOfMemory: the simulated address space or a budget is
+	// exhausted.
+	ErrOutOfMemory = cclerr.ErrOutOfMemory
+	// ErrBadGeometry: a cache geometry cannot support placement.
+	ErrBadGeometry = cclerr.ErrBadGeometry
+	// ErrInvalidArg: a caller-supplied argument is out of range.
+	ErrInvalidArg = cclerr.ErrInvalidArg
+	// ErrNotTree: Reorganize's input is not tree-shaped (shared or
+	// cyclic nodes, or pointers outside the structure).
+	ErrNotTree = cclerr.ErrNotTree
+	// ErrPlacementFailed: a cache-conscious placement could not be
+	// made (the caller may fall back to conventional placement).
+	ErrPlacementFailed = cclerr.ErrPlacementFailed
+	// ErrCorruptTrace: a trace record failed to decode.
+	ErrCorruptTrace = cclerr.ErrCorruptTrace
+	// ErrFaultInjected: the failure came from the fault injector.
+	ErrFaultInjected = cclerr.ErrFaultInjected
+)
+
+// ErrorClass maps an error to its machine-readable taxonomy label
+// ("out-of-memory", "placement-failed", ...), or "" for errors from
+// outside the taxonomy. Reports and logs use it to bucket failures.
+func ErrorClass(err error) string { return cclerr.Class(err) }
 
 // Telemetry (miss classification, per-structure attribution, set
 // heatmaps, counter registry).

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	ccbench [-full] [-list] [-json path] [experiment ...]
+//	ccbench [-full] [-list] [-json path] [-fault point[:n]] [experiment ...]
 //
 // Run ccbench -list for the available experiment ids; "all" (the
 // default) runs every experiment in paper order. -full runs
@@ -11,31 +11,44 @@
 // table that ran as a machine-readable report (schema in DESIGN.md
 // "Telemetry"), the format committed BENCH_*.json files use. Flags
 // may appear before or after experiment ids.
+//
+// -fault injects a deterministic failure (see internal/faults):
+// "arena-grow:3" fails the 3rd simulated-memory growth anywhere in the
+// run. Experiments that hit the fault are recorded as structured
+// failure entries in the JSON report — the run itself still exits 0,
+// because a sweep that measures robustness must outlive the failures
+// it provokes. Ctrl-C interrupts gracefully: completed experiments are
+// flushed to the -json report with its "interrupted" marker set.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"ccl/internal/bench"
+	"ccl/internal/faults"
 )
 
 // experiment couples a runner with the one-line description -list
 // prints.
 type experiment struct {
-	run  func(full bool) bench.Table
+	run  func(ctx context.Context, full bool) bench.Table
 	desc string
 }
 
 var experiments = map[string]experiment{
-	"table1":          {func(bool) bench.Table { return bench.Table1() }, "RSIM simulation parameters (paper Table 1)"},
+	"table1":          {func(context.Context, bool) bench.Table { return bench.Table1() }, "RSIM simulation parameters (paper Table 1)"},
 	"fig5":            {bench.Fig5, "tree microbenchmark: avg cycles/search for four layouts (paper Fig. 5)"},
 	"fig6":            {bench.Fig6, "RADIANCE and VIS macrobenchmarks, normalized time (paper Fig. 6)"},
 	"table2":          {bench.Table2, "Olden benchmark characteristics (paper Table 2)"},
 	"fig7":            {bench.Fig7, "Olden suite under eight placement schemes, cycle breakdown (paper Fig. 7)"},
-	"table3":          {func(bool) bench.Table { return bench.Table3() }, "qualitative technique trade-off summary (paper Table 3)"},
+	"table3":          {func(context.Context, bool) bench.Table { return bench.Table3() }, "qualitative technique trade-off summary (paper Table 3)"},
 	"control":         {bench.Control, "ccmalloc null-hint control experiment (§4.4)"},
 	"memovh":          {bench.MemOvh, "heap footprint by allocation strategy (§4.4)"},
 	"fig10":           {bench.Fig10, "predicted vs measured C-tree speedup across tree sizes (paper Fig. 10)"},
@@ -56,7 +69,7 @@ var order = []string{
 // A value flag with nothing after it is an error — without the check,
 // reordering would hand the flag a positional as its value.
 func reorderArgs(args []string) ([]string, error) {
-	valueFlags := map[string]bool{"-json": true, "--json": true}
+	valueFlags := map[string]bool{"-json": true, "--json": true, "-fault": true, "--fault": true}
 	var flags, pos []string
 	for i := 0; i < len(args); i++ {
 		a := args[i]
@@ -76,12 +89,38 @@ func reorderArgs(args []string) ([]string, error) {
 	return append(flags, pos...), nil
 }
 
+// armFault parses "point[:n]" and arms the process-wide injection it
+// names. Only arena-grow has a process-wide seam (the default grow
+// guard every new arena inherits); the other points are armed per
+// structure and exist for tests.
+func armFault(spec string) error {
+	point, nstr, hasN := strings.Cut(spec, ":")
+	n := int64(1)
+	if hasN {
+		v, err := strconv.ParseInt(nstr, 10, 64)
+		if err != nil || v < 1 {
+			return fmt.Errorf("bad occurrence %q in -fault %s (want a positive integer)", nstr, spec)
+		}
+		n = v
+	}
+	switch faults.Point(point) {
+	case faults.ArenaGrow:
+		faults.NewInjector().FailNth(faults.ArenaGrow, n).ArmDefaultGrowGuard()
+		return nil
+	case faults.AllocBudget, faults.PlaceCluster, faults.TraceRecord:
+		return fmt.Errorf("-fault %s: point %q has no process-wide seam (test-only)", spec, point)
+	default:
+		return fmt.Errorf("-fault %s: unknown point %q (available: %v)", spec, point, faults.Points())
+	}
+}
+
 func main() {
 	full := flag.Bool("full", false, "run paper-scale workloads (slow)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	jsonPath := flag.String("json", "", "also write the results as a JSON report to `path`")
+	fault := flag.String("fault", "", "inject a fault at `point[:n]` (e.g. arena-grow:3); failures are recorded, not fatal")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ccbench [-full] [-list] [-json path] [experiment ...]\navailable: all %v\n", order)
+		fmt.Fprintf(os.Stderr, "usage: ccbench [-full] [-list] [-json path] [-fault point[:n]] [experiment ...]\navailable: all %v\n", order)
 	}
 	args, err := reorderArgs(os.Args[1:])
 	if err != nil {
@@ -98,6 +137,14 @@ func main() {
 			fmt.Printf("%-16s %s\n", id, experiments[id].desc)
 		}
 		return
+	}
+
+	if *fault != "" {
+		if err := armFault(*fault); err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
+			os.Exit(2)
+		}
+		defer faults.DisarmDefaultGrowGuard()
 	}
 
 	ids := flag.Args()
@@ -118,13 +165,31 @@ func main() {
 		run = append(run, id)
 	}
 
-	var tables []bench.Table
+	// SIGINT cancels the context; experiments poll it between units of
+	// work and return partial tables, and the loop below stops issuing
+	// new experiments, so a Ctrl-C still flushes the -json report.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep := bench.Report{Schema: bench.ReportSchema, Full: *full}
 	for _, id := range run {
+		if ctx.Err() != nil {
+			rep.Interrupted = true
+			break
+		}
 		start := time.Now()
-		t := experiments[id].run(*full)
-		tables = append(tables, t)
+		t, fail := bench.RunExperiment(ctx, id, experiments[id].run, *full)
+		if fail != nil {
+			rep.Failures = append(rep.Failures, *fail)
+			fmt.Fprintf(os.Stderr, "ccbench: %s failed (%s): %s\n", id, fail.Class, fail.Error)
+			continue
+		}
+		rep.Experiments = append(rep.Experiments, t)
 		t.Render(os.Stdout)
 		fmt.Printf("  (%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if ctx.Err() != nil {
+		rep.Interrupted = true
 	}
 
 	if *jsonPath != "" {
@@ -133,7 +198,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
 			os.Exit(1)
 		}
-		if err := bench.WriteJSON(f, *full, tables); err != nil {
+		if err := bench.WriteReport(f, rep); err != nil {
 			f.Close()
 			fmt.Fprintf(os.Stderr, "ccbench: writing %s: %v\n", *jsonPath, err)
 			os.Exit(1)
@@ -143,5 +208,8 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote JSON report (%s) to %s\n", bench.ReportSchema, *jsonPath)
+	}
+	if rep.Interrupted {
+		fmt.Fprintln(os.Stderr, "ccbench: interrupted; partial results flushed")
 	}
 }

@@ -10,13 +10,13 @@ import (
 // hinted allocations, consecutive list cells share cache blocks.
 func ExampleNewCCMalloc() {
 	m := ccl.NewPaperMachine()
-	alloc := ccl.NewCCMalloc(m, ccl.NewBlock)
+	alloc := must(ccl.NewCCMalloc(m, ccl.NewBlock))
 
-	prev := alloc.AllocHint(12, ccl.Addr(0x10)) // seed ccmalloc space
+	prev := must(alloc.AllocHint(12, ccl.Addr(0x10))) // seed ccmalloc space
 	shared := 0
 	blk := ccl.LastLevelGeometry(m).BlockSize
 	for i := 0; i < 99; i++ {
-		cell := alloc.AllocHint(12, prev)
+		cell := must(alloc.AllocHint(12, prev))
 		if int64(cell)/blk == int64(prev)/blk {
 			shared++
 		}
@@ -34,7 +34,7 @@ func ExampleReorganize() {
 
 	// Build a scattered list: value at +0, next pointer at +4.
 	mk := func(v uint32) ccl.Addr {
-		p := alloc.Alloc(8)
+		p := must(alloc.Alloc(8))
 		alloc.Alloc(200) // scatter
 		m.Store32(p, v)
 		m.StoreAddr(p.Add(4), ccl.NilAddr)
@@ -51,7 +51,10 @@ func ExampleReorganize() {
 		SetKid:   func(m *ccl.Machine, n ccl.Addr, _ int, k ccl.Addr) { m.StoreAddr(n.Add(4), k) },
 	}
 	cfg := ccl.MorphConfig{Geometry: ccl.LastLevelGeometry(m)}
-	head, st := ccl.Reorganize(m, a, lay, cfg, alloc.Free)
+	head, st, err := ccl.Reorganize(m, a, lay, cfg, func(a ccl.Addr) { alloc.Free(a) })
+	if err != nil {
+		panic(err)
+	}
 
 	blk := cfg.Geometry.BlockSize
 	second := m.LoadAddr(head.Add(4))

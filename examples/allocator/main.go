@@ -22,12 +22,22 @@ const (
 	lookupsPN = 60000
 )
 
+// must keeps the example linear: these workloads are sized well
+// inside the simulated address space, so failures (ccl.ErrOutOfMemory
+// and friends) are unexpected here.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 func run(name string, mk func(m *ccl.Machine) ccl.Allocator) {
 	m := ccl.NewScaledMachine(16)
 	alloc := mk(m)
 
 	// Bucket array.
-	arr := alloc.Alloc(buckets * ccl.PtrSize)
+	arr := must(alloc.Alloc(buckets * ccl.PtrSize))
 	for b := int64(0); b < buckets; b++ {
 		m.StoreAddr(arr.Add(b*ccl.PtrSize), ccl.NilAddr)
 	}
@@ -42,7 +52,7 @@ func run(name string, mk func(m *ccl.Machine) ccl.Allocator) {
 		if hint.IsNil() {
 			hint = slot
 		}
-		e := alloc.AllocHint(entSize, hint)
+		e := must(alloc.AllocHint(entSize, hint))
 		m.StoreAddr(e.Add(entNext), head)
 		m.Store32(e.Add(entKey), key)
 		m.Store32(e.Add(entVal), uint32(i))
@@ -75,7 +85,7 @@ func main() {
 	run("malloc", func(m *ccl.Machine) ccl.Allocator { return ccl.NewMalloc(m) })
 	for _, s := range []ccl.Strategy{ccl.FirstFit, ccl.Closest, ccl.NewBlock} {
 		st := s
-		run("ccmalloc "+st.String(), func(m *ccl.Machine) ccl.Allocator { return ccl.NewCCMalloc(m, st) })
+		run("ccmalloc "+st.String(), func(m *ccl.Machine) ccl.Allocator { return must(ccl.NewCCMalloc(m, st)) })
 	}
 	fmt.Println("\nnew-block keeps each chain in its own blocks (best lookups, most memory);")
 	fmt.Println("closest and first-fit pack tighter at some locality cost — paper §4.4.")

@@ -18,6 +18,16 @@ const (
 	walks     = 30
 )
 
+// must keeps the example linear: these workloads are sized well
+// inside the simulated address space, so failures (ccl.ErrOutOfMemory
+// and friends) are unexpected here.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // buildList allocates the list, optionally passing co-location hints.
 // The churn slice simulates a program that interleaves other
 // allocations and frees, fragmenting the conventional heap.
@@ -26,7 +36,7 @@ func buildList(m *ccl.Machine, alloc ccl.Allocator, hints bool) ccl.Addr {
 	var junk []ccl.Addr
 	for i := 0; i < nCells; i++ {
 		// Interleaved allocation churn, like a real program.
-		j := alloc.Alloc(20)
+		j := must(alloc.Alloc(20))
 		junk = append(junk, j)
 		if len(junk) >= 8 {
 			alloc.Free(junk[0])
@@ -37,7 +47,7 @@ func buildList(m *ccl.Machine, alloc ccl.Allocator, hints bool) ccl.Addr {
 		if hints {
 			hint = tail
 		}
-		cell := alloc.AllocHint(cellSize, hint)
+		cell := must(alloc.AllocHint(cellSize, hint))
 		m.Store32(cell.Add(cellValue), uint32(i))
 		m.StoreAddr(cell.Add(cellNext), ccl.NilAddr)
 		if tail.IsNil() {
@@ -78,7 +88,7 @@ func run(name string, hints bool, mk func(m *ccl.Machine) ccl.Allocator) int64 {
 func main() {
 	fmt.Println("Walking a 4096-cell list 30 times on the paper's (scaled) machine:")
 	base := run("malloc", false, func(m *ccl.Machine) ccl.Allocator { return ccl.NewMalloc(m) })
-	cc := run("ccmalloc (new-block)", true, func(m *ccl.Machine) ccl.Allocator { return ccl.NewCCMalloc(m, ccl.NewBlock) })
+	cc := run("ccmalloc (new-block)", true, func(m *ccl.Machine) ccl.Allocator { return must(ccl.NewCCMalloc(m, ccl.NewBlock)) })
 	fmt.Printf("\nco-locating each cell with its predecessor: %.2fx speedup\n",
 		float64(base)/float64(cc))
 }

@@ -34,6 +34,16 @@ func template() ccl.StructureLayout {
 	}
 }
 
+// must keeps the example linear: this workload is sized well inside
+// the simulated address space, so failures (ccl.ErrOutOfMemory and
+// friends) are unexpected here.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // build allocates a ternary tree of the given depth in random order —
 // the layout an incrementally built structure ends up with.
 func build(m *ccl.Machine, alloc ccl.Allocator, depth int, rng *rand.Rand) ccl.Addr {
@@ -44,7 +54,7 @@ func build(m *ccl.Machine, alloc ccl.Allocator, depth int, rng *rand.Rand) ccl.A
 	}
 	addrs := make([]ccl.Addr, count)
 	for _, i := range rng.Perm(count) {
-		addrs[i] = alloc.Alloc(nodeLen)
+		addrs[i] = must(alloc.Alloc(nodeLen))
 	}
 	var wire func(idx, d int) ccl.Addr
 	next := 0
@@ -86,7 +96,14 @@ func main() {
 	costBefore := m.Stats().TotalCycles()
 
 	cfg := ccl.MorphConfig{Geometry: ccl.LastLevelGeometry(m), ColorFrac: 0.5}
-	newRoot, st := ccl.Reorganize(m, root, template(), cfg, alloc.Free)
+	freeOld := func(a ccl.Addr) { alloc.Free(a) }
+	newRoot, st, err := ccl.Reorganize(m, root, template(), cfg, freeOld)
+	if err != nil {
+		// Reorganize is copy-then-commit: on error the original root
+		// comes back and the structure is still walkable.
+		fmt.Printf("reorganization failed (%s): keeping the original layout\n",
+			ccl.ErrorClass(err))
+	}
 	fmt.Printf("ccmorph moved %d nodes into %d blocks (k=%d, %d hot)\n",
 		st.Nodes, st.Clusters, st.NodesPerBlk, st.HotClusters)
 

@@ -46,13 +46,23 @@ func run(name string, m *ccl.Machine, col *ccl.Collector, t *ccl.BST) {
 	report(name, m, col)
 }
 
+// must keeps the example linear: this workload is sized well inside
+// the simulated address space, so failures (ccl.ErrOutOfMemory and
+// friends) are unexpected here.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 func main() {
 	m := ccl.NewScaledMachine(16)
 
 	// Build the tree with the region boundaries noted, so every miss
 	// can be charged to the structure that caused it.
 	start := m.Arena.Brk()
-	t := ccl.BuildBST(m, ccl.NewMalloc(m), keys, ccl.RandomOrder, 11)
+	t := must(ccl.BuildBST(m, ccl.NewMalloc(m), keys, ccl.RandomOrder, 11))
 	end := m.Arena.Brk()
 
 	col := ccl.AttachTelemetry(m)
@@ -61,11 +71,11 @@ func main() {
 
 	// Reorganize through an explicit placer so the new layout's
 	// address extents are known and can be labeled.
-	placer := ccl.NewPlacer(m, ccl.MorphConfig{
+	placer := must(ccl.NewPlacer(m, ccl.MorphConfig{
 		Geometry:  ccl.LastLevelGeometry(m),
 		ColorFrac: 0.5,
-	})
-	t.MorphWith(placer, nil)
+	}))
+	must(t.MorphWith(placer, nil))
 
 	col2 := ccl.AttachTelemetry(m)
 	col2.Regions().Register("bst-nodes(old)", start, int64(end)-int64(start))

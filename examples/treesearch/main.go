@@ -33,25 +33,37 @@ func measure(name string, m *ccl.Machine, search func(uint32) bool) {
 		name, float64(st.TotalCycles())/searches, st.Levels[1].MissRate())
 }
 
+// must keeps the example linear: this workload is sized well inside
+// the simulated address space, so failures (ccl.ErrOutOfMemory and
+// friends) are unexpected here.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 func main() {
 	fmt.Printf("Random searches over %d keys (tree ~40x the scaled L2):\n\n", keys)
 
 	m1 := ccl.NewScaledMachine(32)
-	random := ccl.BuildBST(m1, ccl.NewMalloc(m1), keys, ccl.RandomOrder, 3)
+	random := must(ccl.BuildBST(m1, ccl.NewMalloc(m1), keys, ccl.RandomOrder, 3))
 	measure("random-clustered tree", m1, random.Search)
 
 	m2 := ccl.NewScaledMachine(32)
-	dfs := ccl.BuildBST(m2, ccl.NewMalloc(m2), keys, ccl.DepthFirstOrder, 3)
+	dfs := must(ccl.BuildBST(m2, ccl.NewMalloc(m2), keys, ccl.DepthFirstOrder, 3))
 	measure("depth-first clustered tree", m2, dfs.Search)
 
 	m3 := ccl.NewScaledMachine(32)
-	bt := ccl.NewBTree(m3, 0.5)
-	bt.BulkLoad(keys, 0.67)
+	bt := must(ccl.NewBTree(m3, 0.5))
+	if err := bt.BulkLoad(keys, 0.67); err != nil {
+		panic(err)
+	}
 	measure("in-core B-tree (colored)", m3, bt.Search)
 
 	m4 := ccl.NewScaledMachine(32)
-	ctree := ccl.BuildBST(m4, ccl.NewMalloc(m4), keys, ccl.RandomOrder, 3)
-	st := ctree.Morph(0.5, nil) // subtree clustering + coloring
+	ctree := must(ccl.BuildBST(m4, ccl.NewMalloc(m4), keys, ccl.RandomOrder, 3))
+	st := must(ctree.Morph(0.5, nil)) // subtree clustering + coloring
 	measure("transparent C-tree", m4, ctree.Search)
 
 	fmt.Printf("\nccmorph packed %d nodes into %d cache blocks (k=%d), %d of them pinned hot\n",

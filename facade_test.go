@@ -11,11 +11,11 @@ import (
 
 func TestFacadeQuickstartFlow(t *testing.T) {
 	m := ccl.NewPaperMachine()
-	alloc := ccl.NewCCMalloc(m, ccl.NewBlock)
+	alloc := must(ccl.NewCCMalloc(m, ccl.NewBlock))
 
-	head := alloc.Alloc(12)            // unhinted: served by the malloc fallback
-	first := alloc.AllocHint(12, head) // seeds ccmalloc space near the chain
-	cell := alloc.AllocHint(12, first) // co-located with its predecessor
+	head := must(alloc.Alloc(12))            // unhinted: served by the malloc fallback
+	first := must(alloc.AllocHint(12, head)) // seeds ccmalloc space near the chain
+	cell := must(alloc.AllocHint(12, first)) // co-located with its predecessor
 	if head.IsNil() || first.IsNil() || cell.IsNil() {
 		t.Fatal("allocation failed")
 	}
@@ -36,8 +36,8 @@ func TestFacadeQuickstartFlow(t *testing.T) {
 
 func TestFacadeTreeAndMorph(t *testing.T) {
 	m := ccl.NewScaledMachine(32)
-	tr := ccl.BuildBST(m, ccl.NewMalloc(m), 2000, ccl.RandomOrder, 1)
-	st := tr.Morph(0.5, nil)
+	tr := must(ccl.BuildBST(m, ccl.NewMalloc(m), 2000, ccl.RandomOrder, 1))
+	st := must(tr.Morph(0.5, nil))
 	if st.Nodes != 2000 {
 		t.Fatalf("morphed %d nodes", st.Nodes)
 	}
@@ -47,8 +47,10 @@ func TestFacadeTreeAndMorph(t *testing.T) {
 		}
 	}
 
-	bt := ccl.NewBTree(m, 0.5)
-	bt.BulkLoad(500, 0.67)
+	bt := must(ccl.NewBTree(m, 0.5))
+	if err := bt.BulkLoad(500, 0.67); err != nil {
+		t.Fatal(err)
+	}
 	if !bt.Search(250) || bt.Search(501) {
 		t.Fatal("B-tree search broken through facade")
 	}
@@ -60,7 +62,7 @@ func TestFacadeReorganizeCustomStructure(t *testing.T) {
 
 	// Three-node list: value@0, next@4.
 	mk := func(v uint32) ccl.Addr {
-		p := alloc.Alloc(8)
+		p := must(alloc.Alloc(8))
 		m.Store32(p, v)
 		m.StoreAddr(p.Add(4), ccl.NilAddr)
 		return p
@@ -80,7 +82,10 @@ func TestFacadeReorganizeCustomStructure(t *testing.T) {
 		},
 	}
 	cfg := ccl.MorphConfig{Geometry: ccl.LastLevelGeometry(m), ColorFrac: 0.5}
-	newHead, st := ccl.Reorganize(m, a, lay, cfg, alloc.Free)
+	newHead, st, err := ccl.Reorganize(m, a, lay, cfg, func(a ccl.Addr) { alloc.Free(a) })
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Nodes != 3 {
 		t.Fatalf("morphed %d nodes, want 3", st.Nodes)
 	}

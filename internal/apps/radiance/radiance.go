@@ -128,6 +128,18 @@ type Result struct {
 // Cycles returns total simulated time.
 func (r Result) Cycles() int64 { return r.Stats.TotalCycles() }
 
+// must adapts the library's checked allocation calls to the kernel's
+// fail-fast policy (DESIGN.md §7): workloads are sized within the
+// arena by construction, so an allocation failure here is a harness
+// bug or an injected fault, and the bench runner's per-experiment
+// recover turns the panic into a structured failure record.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 type sphere struct{ x, y, z, r float64 }
 
 // hostNode is the construction-time octree (host side).
@@ -194,7 +206,7 @@ func Run(m *machine.Machine, mode Mode, cfg Config) Result {
 func (a *app) buildScene() {
 	rng := rand.New(rand.NewSource(a.cfg.Seed))
 	a.scene = make([]sphere, a.cfg.Spheres)
-	a.geom = a.alloc.Alloc(int64(a.cfg.Spheres) * sphereSize)
+	a.geom = must(a.alloc.Alloc(int64(a.cfg.Spheres) * sphereSize))
 	for i := range a.scene {
 		s := sphere{
 			x: rng.Float64(),
@@ -256,7 +268,7 @@ func (a *app) buildOctree() {
 	// children's arrays (RADIANCE's native order).
 	var emit func(n *hostNode) memsys.Addr
 	emit = func(n *hostNode) memsys.Addr {
-		arr := a.alloc.Alloc(ArraySize)
+		arr := must(a.alloc.Alloc(ArraySize))
 		a.arrays++
 		for o := 0; o < 8; o++ {
 			kid := n.kids[o]
@@ -286,7 +298,7 @@ func (a *app) buildOctree() {
 
 // emitItems writes a leaf's item list: [count][id...].
 func (a *app) emitItems(items []int) memsys.Addr {
-	p := a.alloc.Alloc(int64(4 + 4*len(items)))
+	p := must(a.alloc.Alloc(int64(4 + 4*len(items))))
 	a.m.Store32(p, uint32(len(items)))
 	for i, id := range items {
 		a.m.Store32(p.Add(int64(4+4*i)), uint32(id))
@@ -325,7 +337,11 @@ func (a *app) morph(colorFrac float64) {
 		Geometry:  layout.FromLevel(a.m.Cache.LastLevel()),
 		ColorFrac: colorFrac, // zero disables coloring
 	}
-	a.root, _ = ccmorph.Reorganize(a.m, a.root, octLayout(), cfg, nil)
+	root, _, err := ccmorph.Reorganize(a.m, a.root, octLayout(), cfg, nil)
+	if err != nil {
+		panic(err) // kernel fail-fast policy; see must
+	}
+	a.root = root
 
 	// Everything else the rays touch heavily must stay out of the
 	// reserved hot region, or it would evict the pinned tree levels
@@ -336,12 +352,12 @@ func (a *app) morph(colorFrac float64) {
 	var cold *layout.SegmentAllocator
 	var nextBlock func() memsys.Addr
 	if colorFrac > 0 {
-		col := layout.NewColoring(cfg.Geometry, colorFrac)
-		cold = layout.NewSegmentAllocator(a.m.Arena, col, false)
-		nextBlock = func() memsys.Addr { return cold.Alloc(blockSize) }
+		col := must(layout.NewColoring(cfg.Geometry, colorFrac))
+		cold = must(layout.NewSegmentAllocator(a.m.Arena, col, false))
+		nextBlock = func() memsys.Addr { return must(cold.Alloc(blockSize)) }
 	} else {
-		bump := layout.NewBlockBump(a.m.Arena, blockSize)
-		nextBlock = bump.Alloc
+		bump := must(layout.NewBlockBump(a.m.Arena, blockSize))
+		nextBlock = func() memsys.Addr { return must(bump.Alloc()) }
 	}
 	cur, used := memsys.NilAddr, int64(0)
 	var relocate func(arr memsys.Addr)
@@ -378,7 +394,7 @@ func (a *app) morph(colorFrac float64) {
 	// intersect path indexes them by id, so contiguity is required).
 	if cold != nil {
 		total := int64(len(a.scene)) * sphereSize
-		col := layout.NewColoring(cfg.Geometry, colorFrac)
+		col := must(layout.NewColoring(cfg.Geometry, colorFrac))
 		runLen := (col.Sets - col.HotSets) * col.BlockSize
 		for off := int64(0); off < total; {
 			n := total - off
@@ -390,7 +406,7 @@ func (a *app) morph(colorFrac float64) {
 			// preserve indexing — so only a single-piece move is
 			// safe. Larger scenes keep their original placement.
 			if off == 0 && n == total {
-				dst := cold.Alloc(n)
+				dst := must(cold.Alloc(n))
 				a.m.Cache.Access(a.geom, n, cache.Load)
 				a.m.Cache.Access(dst, n, cache.Store)
 				a.m.Arena.Memcpy(dst, a.geom, n)

@@ -113,6 +113,18 @@ type BDD struct {
 	nvars int
 }
 
+// must adapts the library's checked allocation calls to the kernel's
+// fail-fast policy (DESIGN.md Â§7): the workload is sized within the
+// arena by construction, so a failure here is a harness bug or an
+// injected fault, and the bench runner's per-experiment recover turns
+// the panic into a structured failure record.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // NewBDD returns an engine with room for the given variable count.
 func NewBDD(m *machine.Machine, alloc heap.Allocator, cc bool, nvars int) *BDD {
 	b := &BDD{
@@ -123,7 +135,7 @@ func NewBDD(m *machine.Machine, alloc heap.Allocator, cc bool, nvars int) *BDD {
 		computed: map[[3]memsys.Addr]memsys.Addr{},
 		nvars:    nvars,
 	}
-	b.buckets = alloc.Alloc(b.nbkt * memsys.PtrSize)
+	b.buckets = must(alloc.Alloc(b.nbkt * memsys.PtrSize))
 	for i := int64(0); i < b.nbkt; i++ {
 		m.StoreAddr(b.buckets.Add(i*memsys.PtrSize), memsys.NilAddr)
 	}
@@ -142,7 +154,7 @@ func (b *BDD) One() memsys.Addr { return b.one }
 func (b *BDD) Nodes() int64 { return b.nodes }
 
 func (b *BDD) newNode(level uint32, low, high, hint memsys.Addr) memsys.Addr {
-	n := b.alloc.AllocHint(NodeSize, hint)
+	n := must(b.alloc.AllocHint(NodeSize, hint))
 	b.nodes++
 	b.m.Store32(n.Add(ndLevel), level)
 	b.m.StoreAddr(n.Add(ndLow), low)
@@ -335,7 +347,7 @@ func Run(m *machine.Machine, mode Mode, cfg Config) Result {
 	}
 	var alloc heap.Allocator
 	if mode == CCMalloc {
-		alloc = ccmalloc.New(m.Arena, layout.FromLevel(m.Cache.LastLevel()), ccmalloc.NewBlock, m.Cache)
+		alloc = must(ccmalloc.New(m.Arena, layout.FromLevel(m.Cache.LastLevel()), ccmalloc.NewBlock, m.Cache))
 	} else {
 		alloc = heap.New(m.Arena)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -23,9 +24,10 @@ import (
 func ctreeSpeedup(cfg cache.Config, n int64, searches int, colorFrac float64) float64 {
 	measure := func(morph bool) float64 {
 		m := machine.New(cfg)
-		t := trees.Build(m, heap.New(m.Arena), n, trees.RandomOrder, 11)
+		t := trees.MustBuild(m, heap.New(m.Arena), n, trees.RandomOrder, 11)
 		if morph {
-			t.Morph(colorFrac, nil)
+			_, err := t.Morph(colorFrac, nil)
+			check(err)
 		}
 		rng := rand.New(rand.NewSource(5))
 		for i := 0; i < searches/4; i++ {
@@ -43,7 +45,7 @@ func ctreeSpeedup(cfg cache.Config, n int64, searches int, colorFrac float64) fl
 // AblationColorFrac sweeps the Color_const parameter: how much of the
 // cache the reorganizer reserves for the structure's hottest
 // elements. Zero is clustering-only.
-func AblationColorFrac(full bool) Table {
+func AblationColorFrac(ctx context.Context, full bool) Table {
 	n := int64(1<<16 - 1)
 	searches := 12000
 	scale := int64(Scale)
@@ -59,6 +61,9 @@ func AblationColorFrac(full bool) Table {
 	}
 	cfg := cache.ScaledHierarchy(scale)
 	for _, frac := range []float64{0, 0.125, 0.25, 0.5, 0.75} {
+		if ctx.Err() != nil {
+			return interrupted(tab)
+		}
 		tab.Rows = append(tab.Rows, []string{
 			fmt.Sprintf("%.3f", frac), f2(ctreeSpeedup(cfg, n, searches, frac)),
 		})
@@ -73,7 +78,7 @@ func AblationColorFrac(full bool) Table {
 // clustering benefit against the model's K = log2(k+1) spatial
 // locality function (§5.3): bigger blocks pack more nodes per
 // transfer, with logarithmically growing path coverage.
-func AblationBlockSize(full bool) Table {
+func AblationBlockSize(ctx context.Context, full bool) Table {
 	n := int64(1<<16 - 1)
 	searches := 12000
 	if full {
@@ -86,6 +91,9 @@ func AblationBlockSize(full bool) Table {
 		Header: []string{"L2 block", "k", "model K", "measured speedup"},
 	}
 	for _, bs := range []int64{32, 64, 128, 256} {
+		if ctx.Err() != nil {
+			return interrupted(tab)
+		}
 		cfg := cache.ScaledHierarchy(Scale)
 		cfg.Levels[1].BlockSize = bs
 		// Keep L1 no larger-blocked than L2.
@@ -114,7 +122,7 @@ func AblationBlockSize(full bool) Table {
 // optimal interval between invocations" (§4.4); this experiment maps
 // the trade-off between reorganization cost and the decay of its
 // benefit as the lists churn.
-func AblationMorphInterval(full bool) Table {
+func AblationMorphInterval(ctx context.Context, full bool) Table {
 	cfg := healthpkg.DefaultConfig()
 	if full {
 		cfg = healthpkg.PaperConfig()
@@ -128,10 +136,16 @@ func AblationMorphInterval(full bool) Table {
 	baseCfg.MorphInterval = 0
 	base := healthpkg.Run(olden.NewEnv(olden.Base, OldenScale), baseCfg)
 	for _, iv := range []int{5, 10, 15, 25, 50, 75} {
+		if ctx.Err() != nil {
+			return interrupted(tab)
+		}
 		c := cfg
 		c.MorphInterval = iv
 		r := healthpkg.Run(olden.NewEnv(olden.CCMorphClusterColor, OldenScale), c)
 		if r.Check != base.Check {
+			// Checksum divergence is a harness bug, not a recoverable
+			// condition; RunExperiment's recover records it as a
+			// structured failure instead of killing the sweep.
 			panic("bench: morph interval changed health's result")
 		}
 		tab.Rows = append(tab.Rows, []string{

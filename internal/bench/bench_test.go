@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"reflect"
 	"strconv"
@@ -40,7 +41,7 @@ func TestTable1HasPaperParameters(t *testing.T) {
 }
 
 func TestTable2RowsAndMemory(t *testing.T) {
-	tab := Table2(false)
+	tab := Table2(context.Background(), false)
 	if len(tab.Rows) != 4 {
 		t.Fatalf("Table 2 has %d rows, want 4", len(tab.Rows))
 	}
@@ -59,7 +60,7 @@ func TestTable3Qualitative(t *testing.T) {
 }
 
 func TestControlDirection(t *testing.T) {
-	tab := Control(false)
+	tab := Control(context.Background(), false)
 	if len(tab.Rows) != 4 {
 		t.Fatalf("control has %d rows", len(tab.Rows))
 	}
@@ -76,7 +77,7 @@ func TestControlDirection(t *testing.T) {
 }
 
 func TestAblationColorFracMonotoneRegion(t *testing.T) {
-	tab := AblationColorFrac(false)
+	tab := AblationColorFrac(context.Background(), false)
 	if len(tab.Rows) != 5 {
 		t.Fatalf("ablation rows = %d", len(tab.Rows))
 	}
@@ -100,7 +101,7 @@ func TestAblationColorFracMonotoneRegion(t *testing.T) {
 }
 
 func TestAblationBlockSizeTracksModel(t *testing.T) {
-	tab := AblationBlockSize(false)
+	tab := AblationBlockSize(context.Background(), false)
 	if len(tab.Rows) != 4 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
@@ -188,7 +189,7 @@ func TestMetricsExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("metrics experiment runs full workloads")
 	}
-	tab := Metrics(false)
+	tab := Metrics(context.Background(), false)
 	if tab.ID != "metrics" || len(tab.Rows) == 0 {
 		t.Fatalf("metrics table malformed: id=%q rows=%d", tab.ID, len(tab.Rows))
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -59,7 +60,7 @@ type fig5Config struct {
 // search cycles per lookup as the number of repeated random searches
 // grows, for the four tree configurations. full selects paper-scale
 // sizes.
-func Fig5(full bool) Table {
+func Fig5(ctx context.Context, full bool) Table {
 	nodes := int64(1<<17 - 1)
 	checkpoints := []int{10, 100, 1000, 10000, 100000}
 	scale := int64(Scale)
@@ -71,21 +72,22 @@ func Fig5(full bool) Table {
 
 	configs := []fig5Config{
 		{"random-clustered binary tree", func(m *machine.Machine, n int64) func(uint32) bool {
-			t := trees.Build(m, heap.New(m.Arena), n, trees.RandomOrder, 11)
+			t := trees.MustBuild(m, heap.New(m.Arena), n, trees.RandomOrder, 11)
 			return t.Search
 		}},
 		{"depth-first clustered binary tree", func(m *machine.Machine, n int64) func(uint32) bool {
-			t := trees.Build(m, heap.New(m.Arena), n, trees.DepthFirstOrder, 11)
+			t := trees.MustBuild(m, heap.New(m.Arena), n, trees.DepthFirstOrder, 11)
 			return t.Search
 		}},
 		{"in-core B-tree (colored)", func(m *machine.Machine, n int64) func(uint32) bool {
-			t := trees.NewBTree(m, 0.5)
-			t.BulkLoad(n, 0.67)
+			t := must(trees.NewBTree(m, 0.5))
+			check(t.BulkLoad(n, 0.67))
 			return t.Search
 		}},
 		{"transparent C-tree", func(m *machine.Machine, n int64) func(uint32) bool {
-			t := trees.Build(m, heap.New(m.Arena), n, trees.RandomOrder, 11)
-			t.Morph(0.5, nil)
+			t := trees.MustBuild(m, heap.New(m.Arena), n, trees.RandomOrder, 11)
+			_, err := t.Morph(0.5, nil)
+			check(err)
 			return t.Search
 		}},
 	}
@@ -100,6 +102,9 @@ func Fig5(full bool) Table {
 	}
 
 	for _, cfg := range configs {
+		if ctx.Err() != nil {
+			return interrupted(tab)
+		}
 		m := machine.NewScaled(scale)
 		search := cfg.build(m, nodes)
 		m.Cache.Flush()
@@ -123,7 +128,7 @@ func Fig5(full bool) Table {
 // Fig6 regenerates the macrobenchmark comparison (paper Figure 6):
 // RADIANCE under base/clustering/clustering+coloring and VIS under
 // base/ccmalloc-new-block, normalized to base.
-func Fig6(full bool) Table {
+func Fig6(ctx context.Context, full bool) Table {
 	radCfg := radiance.DefaultConfig()
 	visCfg := vis.DefaultConfig()
 	if full {
@@ -138,6 +143,9 @@ func Fig6(full bool) Table {
 	}
 	var radBase int64
 	for _, mode := range []radiance.Mode{radiance.Base, radiance.Cluster, radiance.ClusterColor} {
+		if ctx.Err() != nil {
+			return interrupted(tab)
+		}
 		r := radiance.Run(machine.NewScaled(Scale), mode, radCfg)
 		if mode == radiance.Base {
 			radBase = r.Cycles()
@@ -150,6 +158,9 @@ func Fig6(full bool) Table {
 	}
 	var visBase int64
 	for _, mode := range []vis.Mode{vis.Base, vis.CCMalloc} {
+		if ctx.Err() != nil {
+			return interrupted(tab)
+		}
 		r := vis.Run(machine.NewPaper(), mode, visCfg)
 		if mode == vis.Base {
 			visBase = r.Cycles()
@@ -206,7 +217,7 @@ var OldenBenchmarks = []string{"treeadd", "health", "mst", "perimeter"}
 
 // Table2 regenerates the benchmark characteristics (paper Table 2),
 // with the memory-allocated column measured from the base runs.
-func Table2(full bool) Table {
+func Table2(ctx context.Context, full bool) Table {
 	desc := map[string][2]string{
 		"treeadd":   {"Sums the values stored in tree nodes", "binary tree"},
 		"health":    {"Simulation of Columbian health care system", "doubly linked lists"},
@@ -225,6 +236,9 @@ func Table2(full bool) Table {
 		Header: []string{"Name", "Description", "Main structure", "Input", "Memory"},
 	}
 	for _, b := range OldenBenchmarks {
+		if ctx.Err() != nil {
+			return interrupted(tab)
+		}
 		r := oldenRun(b, olden.Base, full)
 		d := desc[b]
 		tab.Rows = append(tab.Rows, []string{b, d[0], d[1], input[b], kb(r.HeapBytes)})
@@ -235,7 +249,7 @@ func Table2(full bool) Table {
 // Fig7 regenerates the Olden comparison (paper Figure 7): normalized
 // execution time for the eight schemes, with the busy/load/store
 // breakdown the paper's stacked bars show.
-func Fig7(full bool) Table {
+func Fig7(ctx context.Context, full bool) Table {
 	tab := Table{
 		ID:     "fig7",
 		Title:  "Cache-conscious data placement on Olden (normalized cycles)",
@@ -244,6 +258,9 @@ func Fig7(full bool) Table {
 	for _, b := range OldenBenchmarks {
 		var base olden.Result
 		for _, v := range olden.Figure7Variants {
+			if ctx.Err() != nil {
+				return interrupted(tab)
+			}
 			r := oldenRun(b, v, full)
 			if v == olden.Base {
 				base = r
@@ -282,13 +299,16 @@ func Table3() Table {
 
 // Control regenerates the §4.4 control experiment: ccmalloc with all
 // hints replaced by null pointers versus the base allocator.
-func Control(full bool) Table {
+func Control(ctx context.Context, full bool) Table {
 	tab := Table{
 		ID:     "control",
 		Title:  "Null-hint control experiment (ccmalloc, all hints nil)",
 		Header: []string{"Benchmark", "base cycles", "null-hint cycles", "slowdown"},
 	}
 	for _, b := range OldenBenchmarks {
+		if ctx.Err() != nil {
+			return interrupted(tab)
+		}
 		base := oldenRun(b, olden.Base, full)
 		null := oldenRun(b, olden.CCMallocNullHint, full)
 		tab.Rows = append(tab.Rows, []string{
@@ -304,7 +324,7 @@ func Control(full bool) Table {
 
 // MemOvh regenerates the §4.4 memory-overhead accounting across
 // allocation strategies.
-func MemOvh(full bool) Table {
+func MemOvh(ctx context.Context, full bool) Table {
 	tab := Table{
 		ID:     "memovh",
 		Title:  "Heap footprint by allocation strategy",
@@ -319,6 +339,9 @@ func MemOvh(full bool) Table {
 		return r.HeapBytes, 0
 	}
 	for _, b := range OldenBenchmarks {
+		if ctx.Err() != nil {
+			return interrupted(tab)
+		}
 		base, _ := footprint(b, olden.Base)
 		fa, faBlk := footprint(b, olden.CCMallocFirstFit)
 		ca, _ := footprint(b, olden.CCMallocClosest)
@@ -337,7 +360,7 @@ func MemOvh(full bool) Table {
 
 // Fig10 regenerates the model validation (paper Figure 10): predicted
 // versus measured C-tree speedup across tree sizes.
-func Fig10(full bool) Table {
+func Fig10(ctx context.Context, full bool) Table {
 	sizes := []int64{1<<14 - 1, 1<<15 - 1, 1<<16 - 1, 1<<17 - 1}
 	searches := 20000
 	scale := int64(Scale)
@@ -353,6 +376,9 @@ func Fig10(full bool) Table {
 	}
 	params := model.PaperParams()
 	for _, n := range sizes {
+		if ctx.Err() != nil {
+			return interrupted(tab)
+		}
 		pred, meas := fig10Point(n, searches, scale, params)
 		tab.Rows = append(tab.Rows, []string{
 			fmt.Sprintf("%d", n), f2(pred), f2(meas), f2(pred / meas),
@@ -381,9 +407,10 @@ func fig10Point(n int64, searches int, scale int64, params model.CacheParams) (p
 
 	measure := func(morph bool) float64 {
 		m := machine.NewScaled(scale)
-		t := trees.Build(m, heap.New(m.Arena), n, trees.RandomOrder, 11)
+		t := trees.MustBuild(m, heap.New(m.Arena), n, trees.RandomOrder, 11)
 		if morph {
-			t.Morph(0.5, nil)
+			_, err := t.Morph(0.5, nil)
+			check(err)
 		}
 		rng := rand.New(rand.NewSource(5))
 		for i := 0; i < searches/4; i++ { // steady state (§5.3)
@@ -400,16 +427,16 @@ func fig10Point(n int64, searches int, scale int64, params model.CacheParams) (p
 }
 
 // All returns every experiment at quick scale, in paper order.
-func All(full bool) []Table {
+func All(ctx context.Context, full bool) []Table {
 	return []Table{
 		Table1(),
-		Fig5(full),
-		Fig6(full),
-		Table2(full),
-		Fig7(full),
+		Fig5(ctx, full),
+		Fig6(ctx, full),
+		Table2(ctx, full),
+		Fig7(ctx, full),
 		Table3(),
-		Control(full),
-		MemOvh(full),
-		Fig10(full),
+		Control(ctx, full),
+		MemOvh(ctx, full),
+		Fig10(ctx, full),
 	}
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -26,7 +27,7 @@ const heatmapCols = 64
 // coloring's effect on last-level set pressure. The raw telemetry
 // reports ride along in Table.Telemetry, so `ccbench metrics -json`
 // emits the full machine-readable record.
-func Metrics(full bool) Table {
+func Metrics(ctx context.Context, full bool) Table {
 	n := int64(1<<15 - 1)
 	searches := 20000
 	scale := int64(Scale)
@@ -47,7 +48,7 @@ func Metrics(full bool) Table {
 
 	m := machine.NewScaled(scale)
 	buildStart := m.Arena.Brk()
-	t := trees.Build(m, heap.New(m.Arena), n, trees.RandomOrder, 11)
+	t := trees.MustBuild(m, heap.New(m.Arena), n, trees.RandomOrder, 11)
 	buildEnd := m.Arena.Brk()
 
 	runPhase := func(name string, col *telemetry.Collector) telemetry.Report {
@@ -73,11 +74,12 @@ func Metrics(full bool) Table {
 
 	// Reorganize through an explicit placer so the new layout's
 	// extents are known and can be labeled.
-	placer := ccmorph.NewPlacer(m.Arena, ccmorph.Config{
+	placer := must(ccmorph.NewPlacer(m.Arena, ccmorph.Config{
 		Geometry:  layout.FromLevel(m.Cache.LastLevel()),
 		ColorFrac: 0.5,
-	})
-	morphStats := t.MorphWith(placer, nil)
+	}))
+	morphStats, merr := t.MorphWith(placer, nil)
+	check(merr)
 
 	ctree := telemetry.Attach(m.Cache)
 	ctree.Regions().Register("bst-nodes(old)", buildStart, int64(buildEnd)-int64(buildStart))
@@ -103,6 +105,9 @@ func Metrics(full bool) Table {
 	}
 	radReports := map[string]telemetry.Report{}
 	for _, mode := range []radiance.Mode{radiance.Cluster, radiance.ClusterColor} {
+		if ctx.Err() != nil {
+			return interrupted(tab)
+		}
 		rm := machine.NewScaled(Scale)
 		col := telemetry.Attach(rm.Cache)
 		r := radiance.Run(rm, mode, radCfg)

@@ -91,11 +91,23 @@ type Report struct {
 	Schema      string  `json:"schema"`
 	Full        bool    `json:"full"`
 	Experiments []Table `json:"experiments"`
+	// Failures records experiments that panicked instead of producing
+	// a table; a clean run omits the field entirely, so the additions
+	// are schema-compatible with earlier ccl-bench/v1 reports.
+	Failures []Failure `json:"failures,omitempty"`
+	// Interrupted is set when the run was cut short (SIGINT) and the
+	// report holds only the experiments that completed.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
 // WriteJSON writes tables as an indented JSON Report.
 func WriteJSON(w io.Writer, full bool, tables []Table) error {
-	rep := Report{Schema: ReportSchema, Full: full, Experiments: tables}
+	return WriteReport(w, Report{Schema: ReportSchema, Full: full, Experiments: tables})
+}
+
+// WriteReport writes a fully-populated Report (including failures and
+// the interrupted marker) as indented JSON.
+func WriteReport(w io.Writer, rep Report) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)

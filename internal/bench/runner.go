@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"ccl/internal/cclerr"
+)
+
+// Failure is one experiment's structured failure record in the
+// ccl-bench JSON report: which experiment died, what it said, and the
+// cclerr taxonomy class when the panic value was a typed error. A
+// report with failures still validates against the schema — robust
+// sweeps record what broke instead of dying with it.
+type Failure struct {
+	Experiment string `json:"experiment"`
+	Error      string `json:"error"`
+	Class      string `json:"class,omitempty"`
+}
+
+// interruptedNote marks a table whose remaining rows were skipped
+// because the run's context was cancelled.
+const interruptedNote = "interrupted: remaining rows omitted"
+
+// interrupted stamps a partially-built table as cut short.
+func interrupted(t Table) Table {
+	t.Notes = append(t.Notes, interruptedNote)
+	return t
+}
+
+// RunExperiment runs one experiment, converting any panic that
+// escapes it — allocation failures from fail-fast workload kernels,
+// injected faults, checksum mismatches — into a Failure record
+// instead of killing the whole sweep. On failure the returned table
+// is empty and should not be reported.
+func RunExperiment(ctx context.Context, id string, run func(context.Context, bool) Table, full bool) (tab Table, fail *Failure) {
+	defer func() {
+		if r := recover(); r != nil {
+			f := &Failure{Experiment: id}
+			if err, ok := r.(error); ok {
+				f.Error = err.Error()
+				f.Class = cclerr.Class(err)
+			} else {
+				f.Error = fmt.Sprint(r)
+			}
+			tab, fail = Table{}, f
+		}
+	}()
+	return run(ctx, full), nil
+}
+
+// must adapts the library's checked constructors to the experiment
+// code's fail-fast policy (DESIGN.md §7): experiments size their
+// workloads within the arena by construction, so a failure here is a
+// harness bug or an injected fault, and RunExperiment's recover turns
+// the panic into a structured Failure record.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// check is must for calls that only return an error.
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

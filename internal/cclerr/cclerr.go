@@ -1,0 +1,109 @@
+// Package cclerr is the shared error taxonomy of the placement stack.
+//
+// The paper's ccmalloc is defined by graceful degradation: when
+// co-location in the hinted cache block is impossible it silently
+// falls back to conventional allocation (§4.2). Degradation is only
+// possible when failure is part of the interface contract, so every
+// library failure path in memsys, heap, layout, ccmalloc, and ccmorph
+// returns an error wrapping exactly one of the sentinels below.
+// Callers select recovery policy with errors.Is:
+//
+//   - ErrPlacementFailed / ErrOutOfMemory: fall back to conventional
+//     placement (ccmalloc) or keep the unoptimized layout (ccmorph);
+//   - ErrInvalidArg / ErrBadGeometry / ErrNotTree: a contract
+//     violation by the caller — report, do not retry;
+//   - ErrFaultInjected: a scheduled test fault (internal/faults);
+//     always also wrapped in the operational sentinel it simulates.
+//
+// Panics remain only for internal invariants whose violation means
+// the simulator's own state is corrupt; each surviving panic site
+// carries a comment justifying it (see DESIGN.md §7).
+package cclerr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors. Match with errors.Is; concrete failures wrap these
+// with call-site detail via Errorf.
+var (
+	// ErrOutOfMemory reports simulated address-space or allocator
+	// exhaustion (the arena's 32-bit ceiling, a failed grow, or an
+	// injected allocation-budget fault).
+	ErrOutOfMemory = errors.New("out of simulated memory")
+
+	// ErrBadGeometry reports a cache geometry the placement
+	// machinery cannot work with (non-power-of-two block size, page
+	// size not a multiple of the block size, way period not a power
+	// of two, block too small for a B-tree node, ...).
+	ErrBadGeometry = errors.New("unusable cache geometry")
+
+	// ErrInvalidArg reports an argument that violates a documented
+	// precondition (non-positive size, coloring fraction outside
+	// (0,1), double free, ...).
+	ErrInvalidArg = errors.New("invalid argument")
+
+	// ErrNotTree reports a structure handed to ccmorph that is not
+	// tree-like: an element reachable twice (a DAG or cycle) or a
+	// child pointer escaping the traversed structure.
+	ErrNotTree = errors.New("structure is not tree-like")
+
+	// ErrPlacementFailed reports that a cache-conscious placement
+	// could not be completed (oversized cluster, colored region
+	// exhausted, hinted block unusable). Callers degrade to
+	// conventional placement; the data is never lost.
+	ErrPlacementFailed = errors.New("cache-conscious placement failed")
+
+	// ErrCorruptTrace reports an undecodable trace record stream.
+	ErrCorruptTrace = errors.New("corrupt trace")
+
+	// ErrFaultInjected marks errors scheduled by internal/faults.
+	// Injected failures additionally wrap the operational sentinel
+	// they simulate, so production code paths need not know about
+	// fault injection to classify them.
+	ErrFaultInjected = errors.New("injected fault")
+)
+
+// Errorf returns an error wrapping sentinel with formatted call-site
+// detail: Errorf(ErrOutOfMemory, "arena: grow %d bytes", n) yields an
+// error for which errors.Is(err, ErrOutOfMemory) holds.
+func Errorf(sentinel error, format string, args ...any) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), sentinel)
+}
+
+// Sentinels lists every sentinel, for tests and classifiers that
+// sweep the taxonomy.
+func Sentinels() []error {
+	return []error{
+		ErrOutOfMemory, ErrBadGeometry, ErrInvalidArg, ErrNotTree,
+		ErrPlacementFailed, ErrCorruptTrace, ErrFaultInjected,
+	}
+}
+
+// Class returns a short machine-readable label for the sentinel err
+// wraps ("out-of-memory", "placement-failed", ...), or "" when err
+// wraps none of them. The bench runner records it in failure entries
+// so JSON reports can be aggregated by failure class.
+func Class(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrOutOfMemory):
+		return "out-of-memory"
+	case errors.Is(err, ErrBadGeometry):
+		return "bad-geometry"
+	case errors.Is(err, ErrNotTree):
+		return "not-tree"
+	case errors.Is(err, ErrPlacementFailed):
+		return "placement-failed"
+	case errors.Is(err, ErrCorruptTrace):
+		return "corrupt-trace"
+	case errors.Is(err, ErrInvalidArg):
+		return "invalid-argument"
+	case errors.Is(err, ErrFaultInjected):
+		return "fault-injected"
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,53 @@
+package cclerr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestErrorfWrapsSentinel(t *testing.T) {
+	err := Errorf(ErrOutOfMemory, "arena: grow %d bytes past limit", 4096)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("errors.Is(%v, ErrOutOfMemory) = false", err)
+	}
+	if errors.Is(err, ErrBadGeometry) {
+		t.Fatalf("%v unexpectedly matches ErrBadGeometry", err)
+	}
+	want := "arena: grow 4096 bytes past limit: out of simulated memory"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestDoubleWrapMatchesBoth(t *testing.T) {
+	// An injected fault is tagged with ErrFaultInjected AND the
+	// operational sentinel it simulates, so degradation paths that
+	// only know errors.Is(err, ErrOutOfMemory) still engage.
+	inner := Errorf(ErrFaultInjected, "faults: arena-grow occurrence 3")
+	err := fmt.Errorf("%w: %w", ErrOutOfMemory, inner)
+	if !errors.Is(err, ErrOutOfMemory) || !errors.Is(err, ErrFaultInjected) {
+		t.Fatalf("double-wrapped error matches OOM=%v fault=%v",
+			errors.Is(err, ErrOutOfMemory), errors.Is(err, ErrFaultInjected))
+	}
+}
+
+func TestClassCoversEverySentinel(t *testing.T) {
+	for _, s := range Sentinels() {
+		if Class(Errorf(s, "detail")) == "" {
+			t.Errorf("Class has no label for sentinel %v", s)
+		}
+	}
+	if got := Class(nil); got != "" {
+		t.Errorf("Class(nil) = %q, want empty", got)
+	}
+	if got := Class(errors.New("unrelated")); got != "" {
+		t.Errorf("Class(unrelated) = %q, want empty", got)
+	}
+	// Fault-injected errors classify as the simulated operational
+	// failure first, the injection marker only as a fallback.
+	both := fmt.Errorf("%w: %w", ErrOutOfMemory, ErrFaultInjected)
+	if got := Class(both); got != "out-of-memory" {
+		t.Errorf("Class(oom+fault) = %q, want out-of-memory", got)
+	}
+}

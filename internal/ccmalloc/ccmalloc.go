@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ccl/internal/cclerr"
 	"ccl/internal/heap"
 	"ccl/internal/layout"
 	"ccl/internal/memsys"
@@ -95,6 +96,7 @@ type Stats struct {
 	OverflowPage   int64 // placed on the hint page's overflow chain
 	Seeded         int64 // hint pointed outside ccmalloc space
 	Spills         int64 // hinted allocations that opened a new page
+	Degraded       int64 // placements that fell back to the conventional allocator after a placement failure
 	BytesRequested int64
 	Pages          int64 // small-object pages claimed
 	LargeBytes     int64 // bytes claimed for page-spanning objects
@@ -111,6 +113,7 @@ func (s Stats) Each(f func(name string, v int64)) {
 	f("overflow_page", s.OverflowPage)
 	f("seeded", s.Seeded)
 	f("spills", s.Spills)
+	f("degraded", s.Degraded)
 	f("bytes_requested", s.BytesRequested)
 	f("pages", s.Pages)
 	f("large_bytes", s.LargeBytes)
@@ -153,13 +156,24 @@ type Allocator struct {
 
 // New returns an allocator over arena placing into blocks of the
 // given cache geometry, with the given strategy. clock may be nil.
-func New(arena *memsys.Arena, geo layout.Geometry, strategy Strategy, clock Ticker) *Allocator {
+// An unusable geometry (block size not a positive power of two, page
+// size not a multiple of the block size) fails with
+// cclerr.ErrBadGeometry; an unknown strategy with cclerr.ErrInvalidArg.
+func New(arena *memsys.Arena, geo layout.Geometry, strategy Strategy, clock Ticker) (*Allocator, error) {
 	if geo.BlockSize <= 0 || geo.BlockSize&(geo.BlockSize-1) != 0 {
-		panic(fmt.Sprintf("ccmalloc: block size %d must be a positive power of two", geo.BlockSize))
+		return nil, cclerr.Errorf(cclerr.ErrBadGeometry,
+			"ccmalloc: block size %d must be a positive power of two", geo.BlockSize)
 	}
 	ps := arena.PageSize()
 	if ps%geo.BlockSize != 0 {
-		panic(fmt.Sprintf("ccmalloc: page size %d not a multiple of block size %d", ps, geo.BlockSize))
+		return nil, cclerr.Errorf(cclerr.ErrBadGeometry,
+			"ccmalloc: page size %d not a multiple of block size %d", ps, geo.BlockSize)
+	}
+	switch strategy {
+	case Closest, FirstFit, NewBlock:
+	default:
+		return nil, cclerr.Errorf(cclerr.ErrInvalidArg,
+			"ccmalloc: unknown strategy %d", int(strategy))
 	}
 	return &Allocator{
 		arena:    arena,
@@ -171,7 +185,7 @@ func New(arena *memsys.Arena, geo layout.Geometry, strategy Strategy, clock Tick
 		sizes:    map[memsys.Addr]int64{},
 		largeAt:  map[memsys.Addr]int64{},
 		fallback: heap.New(arena),
-	}
+	}, nil
 }
 
 // Strategy returns the allocator's block-selection strategy.
@@ -195,17 +209,36 @@ func (a *Allocator) tick(n int64) {
 var _ heap.Allocator = (*Allocator)(nil)
 
 // Alloc allocates without a co-location hint.
-func (a *Allocator) Alloc(size int64) memsys.Addr {
+func (a *Allocator) Alloc(size int64) (memsys.Addr, error) {
 	return a.AllocHint(size, memsys.NilAddr)
+}
+
+// degrade is the paper's §4.2 fallback made explicit: a hinted
+// placement could not be completed (cause), so the object is placed
+// conventionally instead — correctness is preserved, only locality is
+// lost — and the degradation is counted for telemetry. Only when the
+// conventional allocator also fails does the error escape.
+func (a *Allocator) degrade(size int64, cause error) (memsys.Addr, error) {
+	a.stats.Degraded++
+	p, err := a.fallback.Alloc(size)
+	if err != nil {
+		return memsys.NilAddr, fmt.Errorf(
+			"ccmalloc: degraded allocation of %d bytes failed: %w (after placement failure: %w)",
+			size, err, cause)
+	}
+	return p, nil
 }
 
 // AllocHint allocates size bytes, attempting to co-locate the new
 // object with hint per the configured strategy. A nil hint, or a hint
 // that does not point into this allocator's heap, selects the plain
-// unhinted path.
-func (a *Allocator) AllocHint(size int64, hint memsys.Addr) memsys.Addr {
+// unhinted path. When cache-conscious placement fails (the arena
+// cannot open a fresh page), the allocation degrades to the
+// conventional allocator rather than failing — see degrade.
+func (a *Allocator) AllocHint(size int64, hint memsys.Addr) (memsys.Addr, error) {
 	if size <= 0 {
-		panic(fmt.Sprintf("ccmalloc: AllocHint(%d): size must be positive", size))
+		return memsys.NilAddr, cclerr.Errorf(cclerr.ErrInvalidArg,
+			"ccmalloc: AllocHint(%d): size must be positive", size)
 	}
 	a.tick(AllocCost)
 	a.stats.Allocs++
@@ -237,14 +270,14 @@ func (a *Allocator) AllocHint(size int64, hint memsys.Addr) memsys.Addr {
 	hintBlockOff := blockOffOf(hp, hint, a.geo.BlockSize)
 	if p, ok := a.allocInBlock(hp, hintBlockOff, size); ok {
 		a.stats.SameBlock++
-		return p
+		return p, nil
 	}
 
 	// Second choice: another block on the hint's page, selected by
 	// strategy.
 	if p, ok := a.allocOnPage(hp, hintBlockOff, size); ok {
 		a.stats.SamePage++
-		return p
+		return p, nil
 	}
 
 	// The hint's page is out of room: follow its overflow chain —
@@ -255,49 +288,76 @@ func (a *Allocator) AllocHint(size int64, hint memsys.Addr) memsys.Addr {
 		last = last.overflow
 		if p, ok := a.allocInBlock(last, 0, size); ok {
 			a.stats.OverflowPage++
-			return p
+			return p, nil
 		}
 		if p, ok := a.allocOnPage(last, 0, size); ok {
 			a.stats.OverflowPage++
-			return p
+			return p, nil
 		}
 	}
 	// Chain exhausted: open a fresh page and link it in. This is
 	// where ccmalloc trades memory for locality — the paper's §4.4
-	// memory overheads come from exactly this choice.
+	// memory overheads come from exactly this choice. If the arena
+	// cannot supply a page, the placement has failed and the object
+	// degrades to conventional allocation.
 	a.stats.Spills++
-	p := a.newPage()
+	p, err := a.newPage()
+	if err != nil {
+		return a.degrade(size, cclerr.Errorf(cclerr.ErrPlacementFailed,
+			"ccmalloc: spill page unavailable (%v)", err))
+	}
 	last.overflow = p
 	off, ok := p.fitWithin(0, a.pageSize, size)
 	if !ok {
+		// Panic justification: size <= pageSize is established above
+		// and newPage returns a wholly-free page, so a fresh page that
+		// cannot fit the object means the extent bookkeeping itself is
+		// corrupt.
 		panic("ccmalloc: fresh page cannot satisfy a small allocation")
 	}
-	return a.commit(p, off, size)
+	return a.commit(p, off, size), nil
 }
 
-// Free releases an object returned by Alloc/AllocHint.
-func (a *Allocator) Free(addr memsys.Addr) {
+// Free releases an object returned by Alloc/AllocHint. Freeing an
+// address this allocator never handed out fails with
+// cclerr.ErrInvalidArg (surfaced by the fallback allocator's tag
+// check) and changes nothing.
+func (a *Allocator) Free(addr memsys.Addr) error {
 	if addr.IsNil() {
-		return
+		return nil
 	}
 	a.tick(FreeCost)
 	if n, ok := a.largeAt[addr]; ok {
 		delete(a.largeAt, addr)
 		a.stats.Frees++
 		a.freeLargeRegion(addr, n)
-		return
+		return nil
 	}
 	size, ok := a.sizes[addr]
 	if !ok {
-		// Not one of ours: it came from the fallback allocator.
+		if a.pageOf(addr) != nil {
+			// Inside one of our pages but not a live object: a double
+			// free (or interior pointer). Rejecting it here keeps the
+			// bogus address away from the fallback's chunk headers.
+			return cclerr.Errorf(cclerr.ErrInvalidArg,
+				"ccmalloc: Free(%v): not a live object", addr)
+		}
+		// Not one of ours: it came from the fallback allocator (or is
+		// a stranger's address, which the fallback's tag check rejects
+		// with a typed error).
+		if err := a.fallback.Free(addr); err != nil {
+			return err
+		}
 		a.stats.Frees++
-		a.fallback.Free(addr)
-		return
+		return nil
 	}
 	delete(a.sizes, addr)
 	a.stats.Frees++
 	p := a.pageOf(addr)
 	if p == nil {
+		// Panic justification: addr was present in the live-object map,
+		// so the page that holds it must be tracked; losing it means
+		// the allocator's own page table is corrupt.
 		panic(fmt.Sprintf("ccmalloc: Free(%v): page vanished", addr))
 	}
 	p.release(int64(addr)-int64(p.start), size)
@@ -307,15 +367,17 @@ func (a *Allocator) Free(addr memsys.Addr) {
 		p.pooled = true
 		a.emptyPool = append(a.emptyPool, p)
 	}
+	return nil
 }
 
-// UsableSize returns the payload capacity of a live object.
-func (a *Allocator) UsableSize(addr memsys.Addr) int64 {
+// UsableSize returns the payload capacity of a live object, failing
+// with cclerr.ErrInvalidArg for an address that is not one.
+func (a *Allocator) UsableSize(addr memsys.Addr) (int64, error) {
 	if n, ok := a.largeAt[addr]; ok {
-		return n
+		return n, nil
 	}
 	if n, ok := a.sizes[addr]; ok {
-		return n
+		return n, nil
 	}
 	return a.fallback.UsableSize(addr)
 }
@@ -377,35 +439,55 @@ func (a *Allocator) allocOnPage(p *page, hintBlockOff, size int64) (memsys.Addr,
 			}
 		}
 	default:
+		// Panic justification: New rejects unknown strategies with a
+		// typed error, so reaching this switch arm means the allocator
+		// was constructed bypassing its validation.
 		panic(fmt.Sprintf("ccmalloc: unknown strategy %d", int(a.strategy)))
 	}
 	return memsys.NilAddr, false
 }
 
 // allocSeeded places a foreign-hinted object on the rolling seed
-// page, opening a new one when it fills.
-func (a *Allocator) allocSeeded(size int64) memsys.Addr {
+// page, opening a new one when it fills; when no seed page can be
+// opened the object degrades to conventional placement.
+func (a *Allocator) allocSeeded(size int64) (memsys.Addr, error) {
 	if a.seedPage != nil {
 		if off, ok := a.seedPage.fitWithin(0, a.pageSize, size); ok {
-			return a.commit(a.seedPage, off, size)
+			return a.commit(a.seedPage, off, size), nil
 		}
 	}
-	a.seedPage = a.newPage()
+	p, err := a.newPage()
+	if err != nil {
+		return a.degrade(size, cclerr.Errorf(cclerr.ErrPlacementFailed,
+			"ccmalloc: seed page unavailable (%v)", err))
+	}
+	a.seedPage = p
 	off, ok := a.seedPage.fitWithin(0, a.pageSize, size)
 	if !ok {
+		// Panic justification: same invariant as the spill path — a
+		// fresh wholly-free page must fit any size <= pageSize.
 		panic("ccmalloc: fresh page cannot satisfy a small allocation")
 	}
-	return a.commit(a.seedPage, off, size)
+	return a.commit(a.seedPage, off, size), nil
 }
 
-// allocLarge claims dedicated whole pages for a page-spanning object.
-func (a *Allocator) allocLarge(size int64) memsys.Addr {
+// allocLarge claims dedicated whole pages for a page-spanning object,
+// degrading to conventional placement when the arena cannot supply
+// aligned pages.
+func (a *Allocator) allocLarge(size int64) (memsys.Addr, error) {
 	n := alignUp(size, a.pageSize)
-	a.arena.AlignBrk(a.pageSize)
-	addr := a.arena.Sbrk(n)
+	if _, err := a.arena.AlignTo(a.pageSize); err != nil {
+		return a.degrade(size, cclerr.Errorf(cclerr.ErrPlacementFailed,
+			"ccmalloc: cannot align for large object (%v)", err))
+	}
+	addr, err := a.arena.Grow(n)
+	if err != nil {
+		return a.degrade(size, cclerr.Errorf(cclerr.ErrPlacementFailed,
+			"ccmalloc: cannot claim %d large-object bytes (%v)", n, err))
+	}
 	a.stats.LargeBytes += n
 	a.largeAt[addr] = n
-	return addr
+	return addr, nil
 }
 
 // freeLargeRegion turns a freed large object's pages into ordinary
@@ -431,24 +513,30 @@ func (a *Allocator) commit(p *page, off, size int64) memsys.Addr {
 }
 
 // newPage returns an empty page: a recycled fully-freed one when
-// available, else a fresh page-aligned page from the arena.
-func (a *Allocator) newPage() *page {
+// available, else a fresh page-aligned page from the arena. Arena
+// exhaustion propagates so callers can degrade.
+func (a *Allocator) newPage() (*page, error) {
 	for len(a.emptyPool) > 0 {
 		p := a.emptyPool[len(a.emptyPool)-1]
 		a.emptyPool = a.emptyPool[:len(a.emptyPool)-1]
 		p.pooled = false
 		if p.wholeFree(a.pageSize) {
 			p.overflow = nil
-			return p
+			return p, nil
 		}
 	}
-	a.arena.AlignBrk(a.pageSize)
-	start := a.arena.Sbrk(a.pageSize)
+	if _, err := a.arena.AlignTo(a.pageSize); err != nil {
+		return nil, err
+	}
+	start, err := a.arena.Grow(a.pageSize)
+	if err != nil {
+		return nil, err
+	}
 	p := &page{start: start, free: []extent{{0, a.pageSize}}}
 	a.pages = append(a.pages, p)
 	a.byPage[a.arena.PageOf(start)] = p
 	a.stats.Pages++
-	return p
+	return p, nil
 }
 
 // pageOf returns the tracked page containing addr, or nil.
@@ -535,6 +623,9 @@ func (p *page) take(off, size int64) {
 			return
 		}
 	}
+	// Panic justification: take is only called with offsets that
+	// fitWithin/isWholeBlockFree just reported free; a non-free range
+	// here means the extent map is internally inconsistent.
 	panic(fmt.Sprintf("ccmalloc: take(%d,%d): range not free", off, size))
 }
 
@@ -542,7 +633,10 @@ func (p *page) take(off, size int64) {
 // with neighbours.
 func (p *page) release(off, size int64) {
 	i := sort.Search(len(p.free), func(i int) bool { return p.free[i].off >= off })
-	// Guard against overlapping releases (double free).
+	// Panic justification (both overlap guards): Free consults the
+	// live-object map before releasing, and a double free is rejected
+	// there with a typed error; an overlapping release here means the
+	// map and the extent lists disagree — allocator metadata corruption.
 	if i > 0 && p.free[i-1].off+p.free[i-1].len > off {
 		panic(fmt.Sprintf("ccmalloc: release(%d,%d) overlaps free space", off, size))
 	}

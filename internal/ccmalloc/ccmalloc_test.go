@@ -1,9 +1,12 @@
 package ccmalloc
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
+	"ccl/internal/cclerr"
+	"ccl/internal/heap"
 	"ccl/internal/layout"
 	"ccl/internal/memsys"
 )
@@ -14,7 +17,11 @@ var testGeo = layout.Geometry{Sets: 1024, Assoc: 1, BlockSize: 64}
 
 func newAlloc(s Strategy) (*memsys.Arena, *Allocator) {
 	arena := memsys.NewArena(0)
-	return arena, New(arena, testGeo, s, nil)
+	a, err := New(arena, testGeo, s, nil)
+	if err != nil {
+		panic(err)
+	}
+	return arena, a
 }
 
 func sameBlock(a, b memsys.Addr) bool {
@@ -24,7 +31,7 @@ func sameBlock(a, b memsys.Addr) bool {
 // seedObj returns an object placed in ccmalloc-managed space (via a
 // foreign hint), the starting point for co-location chains.
 func seedObj(a *Allocator, size int64) memsys.Addr {
-	return a.AllocHint(size, memsys.Addr(0x10))
+	return heap.MustAllocHint(a, size, memsys.Addr(0x10))
 }
 
 func TestStrategyString(t *testing.T) {
@@ -40,7 +47,7 @@ func TestHintedAllocSharesBlock(t *testing.T) {
 	for _, s := range []Strategy{Closest, FirstFit, NewBlock} {
 		_, a := newAlloc(s)
 		parent := seedObj(a, 24)
-		child := a.AllocHint(24, parent)
+		child := heap.MustAllocHint(a, 24, parent)
 		if !sameBlock(parent, child) {
 			t.Errorf("%v: child %v not in parent %v's block", s, child, parent)
 		}
@@ -57,7 +64,7 @@ func TestHintChainFillsBlockThenPage(t *testing.T) {
 	first := prev
 	samePage := 0
 	for i := 0; i < 30; i++ {
-		p := a.AllocHint(24, prev)
+		p := heap.MustAllocHint(a, 24, prev)
 		if arena.PageOf(p) != arena.PageOf(first) {
 			t.Fatalf("alloc %d left the hint page before it was full", i)
 		}
@@ -77,8 +84,8 @@ func TestHintChainFillsBlockThenPage(t *testing.T) {
 
 func TestNilHintUsesUnhintedPath(t *testing.T) {
 	_, a := newAlloc(NewBlock)
-	p := a.AllocHint(24, memsys.NilAddr)
-	q := a.AllocHint(24, memsys.NilAddr)
+	p := heap.MustAllocHint(a, 24, memsys.NilAddr)
+	q := heap.MustAllocHint(a, 24, memsys.NilAddr)
 	if p.IsNil() || q.IsNil() {
 		t.Fatal("nil-hint allocation failed")
 	}
@@ -95,7 +102,7 @@ func TestNilHintUsesUnhintedPath(t *testing.T) {
 func TestForeignHintSeedsPage(t *testing.T) {
 	arena, a := newAlloc(Closest)
 	foreign := arena.Sbrk(64) // memory not owned by the allocator
-	p := a.AllocHint(24, foreign)
+	p := heap.MustAllocHint(a, 24, foreign)
 	if p.IsNil() {
 		t.Fatal("foreign hint broke allocation")
 	}
@@ -103,7 +110,7 @@ func TestForeignHintSeedsPage(t *testing.T) {
 		t.Fatalf("Seeded = %d, want 1", a.Stats().Seeded)
 	}
 	// A chain hinted off the seeded object now co-locates normally.
-	q := a.AllocHint(24, p)
+	q := heap.MustAllocHint(a, 24, p)
 	if !sameBlock(p, q) {
 		t.Fatalf("chain after seed not co-located: %v then %v", p, q)
 	}
@@ -113,7 +120,7 @@ func TestClosestPrefersNearbyBlocks(t *testing.T) {
 	_, a := newAlloc(Closest)
 	// Fill the hint block completely with 64 bytes.
 	hint := seedObj(a, 64)
-	got := a.AllocHint(24, hint)
+	got := heap.MustAllocHint(a, 24, hint)
 	d := int64(got) - int64(hint)
 	if d < 0 {
 		d = -d
@@ -130,18 +137,18 @@ func TestNewBlockReservesRemainder(t *testing.T) {
 	_, a := newAlloc(NewBlock)
 	hint := seedObj(a, 64) // fills its whole cache block
 	// Allocate with a full-block hint: must go to an unused block.
-	p := a.AllocHint(24, hint)
+	p := heap.MustAllocHint(a, 24, hint)
 	if sameBlock(p, hint) {
 		t.Fatal("hint block was full; p should be elsewhere")
 	}
 	// Remainder of p's block is reserved: an unhinted allocation
 	// must not land in it...
-	q := a.Alloc(24)
+	q := heap.MustAlloc(a, 24)
 	if sameBlock(p, q) {
 		t.Fatal("unhinted allocation consumed a new-block reservation")
 	}
 	// ...but a hinted allocation targeting p may.
-	r := a.AllocHint(24, p)
+	r := heap.MustAllocHint(a, 24, p)
 	if !sameBlock(p, r) {
 		t.Fatalf("hinted allocation should join p's reserved block: p=%v r=%v", p, r)
 	}
@@ -155,7 +162,7 @@ func TestNewBlockSpreadsWhenHintBlocksFull(t *testing.T) {
 	p := seedObj(a, 64)
 	blocks := map[int64]bool{int64(p) / 64: true}
 	for i := 0; i < 20; i++ {
-		p = a.AllocHint(64, p)
+		p = heap.MustAllocHint(a, 64, p)
 		blocks[int64(p)/64] = true
 	}
 	if len(blocks) != 21 {
@@ -166,9 +173,9 @@ func TestNewBlockSpreadsWhenHintBlocksFull(t *testing.T) {
 func TestFreeAndReuseWithinBlock(t *testing.T) {
 	_, a := newAlloc(FirstFit)
 	parent := seedObj(a, 24)
-	child := a.AllocHint(24, parent)
+	child := heap.MustAllocHint(a, 24, parent)
 	a.Free(child)
-	again := a.AllocHint(24, parent)
+	again := heap.MustAllocHint(a, 24, parent)
 	if again != child {
 		t.Fatalf("freed co-located slot not reused: got %v, want %v", again, child)
 	}
@@ -185,37 +192,40 @@ func TestFreeNilNoop(t *testing.T) {
 	}
 }
 
-func TestDoubleFreePanics(t *testing.T) {
+func TestDoubleFreeFails(t *testing.T) {
 	_, a := newAlloc(FirstFit)
 	p := seedObj(a, 24)
-	a.Free(p)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double free did not panic")
-		}
-	}()
-	a.Free(p)
+	if err := a.Free(p); err != nil {
+		t.Fatalf("first Free: %v", err)
+	}
+	if err := a.Free(p); !errors.Is(err, cclerr.ErrInvalidArg) {
+		t.Fatalf("double free err = %v, want ErrInvalidArg", err)
+	}
 }
 
 func TestUsableSize(t *testing.T) {
 	_, a := newAlloc(FirstFit)
-	p := a.Alloc(20) // rounds to 24
-	if got := a.UsableSize(p); got != 24 {
+	p := heap.MustAlloc(a, 20) // rounds to 24
+	got, err := a.UsableSize(p)
+	if err != nil {
+		t.Fatalf("UsableSize: %v", err)
+	}
+	if got != 24 {
 		t.Fatalf("UsableSize = %d, want 24", got)
 	}
 }
 
 func TestLargeAllocation(t *testing.T) {
 	arena, a := newAlloc(FirstFit)
-	big := a.Alloc(3 * arena.PageSize())
+	big := heap.MustAlloc(a, 3 * arena.PageSize())
 	if !arena.Mapped(big, 3*arena.PageSize()) {
 		t.Fatal("large allocation not mapped")
 	}
 	if int64(big)%arena.PageSize() != 0 {
 		t.Fatal("large allocation not page aligned")
 	}
-	if a.UsableSize(big) < 3*arena.PageSize() {
-		t.Fatal("large UsableSize too small")
+	if u, err := a.UsableSize(big); err != nil || u < 3*arena.PageSize() {
+		t.Fatalf("large UsableSize = %d (%v)", u, err)
 	}
 	before := a.HeapBytes()
 	a.Free(big)
@@ -241,7 +251,7 @@ func TestHeapBytesGrowsByPages(t *testing.T) {
 
 func TestStatsAccounting(t *testing.T) {
 	_, a := newAlloc(Closest)
-	p := a.Alloc(30)
+	p := heap.MustAlloc(a, 30)
 	a.AllocHint(30, p)
 	a.Free(p)
 	s := a.Stats()
@@ -250,21 +260,21 @@ func TestStatsAccounting(t *testing.T) {
 	}
 }
 
-func TestAllocZeroPanics(t *testing.T) {
+func TestAllocZeroFails(t *testing.T) {
 	_, a := newAlloc(Closest)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Alloc(0) did not panic")
-		}
-	}()
-	a.Alloc(0)
+	if _, err := a.Alloc(0); !errors.Is(err, cclerr.ErrInvalidArg) {
+		t.Fatalf("Alloc(0) err = %v, want ErrInvalidArg", err)
+	}
 }
 
 func TestClockCharged(t *testing.T) {
 	arena := memsys.NewArena(0)
 	var total int64
-	a := New(arena, testGeo, NewBlock, tickFunc(func(n int64) { total += n }))
-	p := a.Alloc(24)
+	a, err := New(arena, testGeo, NewBlock, tickFunc(func(n int64) { total += n }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := heap.MustAlloc(a, 24)
 	a.Free(p)
 	if total != AllocCost+FreeCost {
 		t.Fatalf("charged %d cycles, want %d", total, AllocCost+FreeCost)
@@ -300,7 +310,7 @@ func TestRandomWorkload(t *testing.T) {
 			if len(live) > 0 && rng.Intn(100) < 70 {
 				hint = live[rng.Intn(len(live))].addr
 			}
-			p := a.AllocHint(size, hint)
+			p := heap.MustAllocHint(a, size, hint)
 			rounded := (size + 7) &^ 7
 			for _, o := range live {
 				if p < o.addr.Add(o.size) && o.addr < p.Add(rounded) {
@@ -321,11 +331,11 @@ func TestRandomWorkload(t *testing.T) {
 func TestColocationRate(t *testing.T) {
 	for _, strat := range []Strategy{Closest, FirstFit, NewBlock} {
 		_, a := newAlloc(strat)
-		prev := a.Alloc(24)
+		prev := heap.MustAlloc(a, 24)
 		colocated := 0
 		const n = 299
 		for i := 0; i < n; i++ {
-			p := a.AllocHint(24, prev)
+			p := heap.MustAllocHint(a, 24, prev)
 			if sameBlock(p, prev) {
 				colocated++
 			}

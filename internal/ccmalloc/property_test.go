@@ -34,7 +34,10 @@ func (o heapOp) String() string {
 // invariants must hold after every mutation.
 func checkHeapOps(strategy Strategy, ops []heapOp) error {
 	arena := memsys.NewArena(0)
-	a := New(arena, layout.Geometry{Sets: 16, Assoc: 1, BlockSize: 64}, strategy, nil)
+	a, err := New(arena, layout.Geometry{Sets: 16, Assoc: 1, BlockSize: 64}, strategy, nil)
+	if err != nil {
+		return fmt.Errorf("New: %w", err)
+	}
 	type obj struct {
 		addr memsys.Addr
 		size int64
@@ -53,9 +56,9 @@ func checkHeapOps(strategy Strategy, ops []heapOp) error {
 			if len(live) > 0 && op.Size%3 != 0 { // mix hinted and unhinted
 				hint = live[op.Ref%len(live)].addr
 			}
-			addr := a.AllocHint(op.Size, hint)
-			if addr.IsNil() {
-				return fmt.Errorf("op %d %v: allocation failed", i, op)
+			addr, aerr := a.AllocHint(op.Size, hint)
+			if aerr != nil || addr.IsNil() {
+				return fmt.Errorf("op %d %v: allocation failed: %v", i, op, aerr)
 			}
 			if !arena.Mapped(addr, op.Size) {
 				return fmt.Errorf("op %d %v: object %v+%d not inside the arena", i, op, addr, op.Size)

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"ccl/internal/cache"
+	"ccl/internal/cclerr"
 	"ccl/internal/layout"
 	"ccl/internal/machine"
 	"ccl/internal/memsys"
@@ -57,16 +58,16 @@ type Layout struct {
 
 func (l Layout) validate() error {
 	if l.NodeSize <= 0 {
-		return fmt.Errorf("ccmorph: node size must be positive")
+		return cclerr.Errorf(cclerr.ErrInvalidArg, "ccmorph: node size must be positive")
 	}
 	if l.MaxKids < 1 {
-		return fmt.Errorf("ccmorph: MaxKids must be at least 1")
+		return cclerr.Errorf(cclerr.ErrInvalidArg, "ccmorph: MaxKids must be at least 1")
 	}
 	if l.Kid == nil || l.SetKid == nil {
-		return fmt.Errorf("ccmorph: Kid and SetKid are required")
+		return cclerr.Errorf(cclerr.ErrInvalidArg, "ccmorph: Kid and SetKid are required")
 	}
 	if l.HasParent && l.SetParent == nil {
-		return fmt.Errorf("ccmorph: HasParent requires SetParent")
+		return cclerr.Errorf(cclerr.ErrInvalidArg, "ccmorph: HasParent requires SetParent")
 	}
 	return nil
 }
@@ -90,6 +91,7 @@ type Stats struct {
 	HotClusters int64 // clusters placed in the colored hot region
 	NodesPerBlk int64 // k
 	NewBytes    int64 // bytes claimed for the new layout
+	Aborted     int64 // reorganizations that failed and left the original layout in place
 }
 
 // Each yields every counter as a (name, value) pair, the publishing
@@ -100,6 +102,7 @@ func (s Stats) Each(f func(name string, v int64)) {
 	f("hot_clusters", s.HotClusters)
 	f("nodes_per_block", s.NodesPerBlk)
 	f("new_bytes", s.NewBytes)
+	f("aborted", s.Aborted)
 }
 
 // Placer is a reusable placement context: the pair of colored segment
@@ -114,56 +117,96 @@ type Placer struct {
 	cold    *layout.SegmentAllocator
 	bump    *layout.BlockBump
 	hotLeft int64
+	guard   func(size int64) error // optional fault-injection hook
 
 	cur    memsys.Addr // block currently being packed
 	used   int64       // bytes used in cur
 	curHot bool
 }
 
-// NewPlacer builds a placement context for cfg over arena.
-func NewPlacer(arena *memsys.Arena, cfg Config) *Placer {
+// NewPlacer builds a placement context for cfg over arena. An
+// unusable geometry or coloring fraction fails with the corresponding
+// cclerr sentinel (ErrBadGeometry / ErrInvalidArg).
+func NewPlacer(arena *memsys.Arena, cfg Config) (*Placer, error) {
 	p := &Placer{geo: cfg.Geometry}
 	if cfg.ColorFrac > 0 {
-		col := layout.NewColoring(cfg.Geometry, cfg.ColorFrac)
+		col, err := layout.NewColoring(cfg.Geometry, cfg.ColorFrac)
+		if err != nil {
+			return nil, err
+		}
 		p.hotLeft = col.HotSets * int64(col.Assoc)
-		p.hot = layout.NewSegmentAllocator(arena, col, true)
-		p.cold = layout.NewSegmentAllocator(arena, col, false)
+		if p.hot, err = layout.NewSegmentAllocator(arena, col, true); err != nil {
+			return nil, err
+		}
+		if p.cold, err = layout.NewSegmentAllocator(arena, col, false); err != nil {
+			return nil, err
+		}
 	} else {
-		p.bump = layout.NewBlockBump(arena, cfg.Geometry.BlockSize)
+		bump, err := layout.NewBlockBump(arena, cfg.Geometry.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		p.bump = bump
 	}
-	return p
+	return p, nil
 }
 
-// place returns space for one cluster of size bytes (size must not
-// exceed the block size). Clusters are packed densely — "laid out
-// linearly" as in Figure 1 — starting a fresh cache block only when
-// the cluster would straddle a block boundary, so short lists and
-// leaf clusters share blocks instead of wasting them. The bool
-// reports whether the space is in the colored hot region.
-func (p *Placer) place(size int64) (memsys.Addr, bool) {
+// SetPlaceGuard installs a hook consulted before every cluster
+// placement. A non-nil error from the guard fails the placement with
+// that error wrapped in cclerr.ErrPlacementFailed; internal/faults
+// uses this seam to inject oversized-cluster-style failures.
+func (p *Placer) SetPlaceGuard(g func(size int64) error) { p.guard = g }
+
+// place returns space for one cluster of size bytes. Clusters are
+// packed densely — "laid out linearly" as in Figure 1 — starting a
+// fresh cache block only when the cluster would straddle a block
+// boundary, so short lists and leaf clusters share blocks instead of
+// wasting them. The bool reports whether the space is in the colored
+// hot region. A cluster wider than a cache block cannot be placed and
+// fails with cclerr.ErrPlacementFailed (reachable whenever the
+// element size exceeds the block size); allocator failures propagate.
+func (p *Placer) place(size int64) (memsys.Addr, bool, error) {
 	if size > p.geo.BlockSize {
-		panic(fmt.Sprintf("ccmorph: cluster of %d bytes exceeds block size %d", size, p.geo.BlockSize))
+		return memsys.NilAddr, false, cclerr.Errorf(cclerr.ErrPlacementFailed,
+			"ccmorph: cluster of %d bytes exceeds block size %d", size, p.geo.BlockSize)
+	}
+	if p.guard != nil {
+		if err := p.guard(size); err != nil {
+			return memsys.NilAddr, false, fmt.Errorf(
+				"ccmorph: placement of %d-byte cluster vetoed: %w: %w",
+				size, cclerr.ErrPlacementFailed, err)
+		}
 	}
 	if p.cur.IsNil() || p.used+size > p.geo.BlockSize {
-		p.cur, p.curHot = p.newBlock()
+		blk, hot, err := p.newBlock()
+		if err != nil {
+			return memsys.NilAddr, false, err
+		}
+		p.cur, p.curHot = blk, hot
 		p.used = 0
 	}
 	a := p.cur.Add(p.used)
 	p.used += size
-	return a, p.curHot
+	return a, p.curHot, nil
 }
 
 // newBlock claims the next cache block: hot while the colored budget
 // lasts, then cold (or from the plain bump when coloring is off).
-func (p *Placer) newBlock() (memsys.Addr, bool) {
+func (p *Placer) newBlock() (memsys.Addr, bool, error) {
 	switch {
 	case p.bump != nil:
-		return p.bump.Alloc(), false
+		a, err := p.bump.Alloc()
+		return a, false, err
 	case p.hotLeft > 0:
+		a, err := p.hot.Alloc(p.geo.BlockSize)
+		if err != nil {
+			return memsys.NilAddr, false, err
+		}
 		p.hotLeft--
-		return p.hot.Alloc(p.geo.BlockSize), true
+		return a, true, nil
 	default:
-		return p.cold.Alloc(p.geo.BlockSize), false
+		a, err := p.cold.Alloc(p.geo.BlockSize)
+		return a, false, err
 	}
 }
 
@@ -195,13 +238,21 @@ const ClusterCost = 6
 // if non-nil, is called on every old element after its replacement is
 // wired up, so the caller's allocator can reclaim the space.
 //
-// Reorganize panics if the traversal revisits an element (the
-// structure is not tree-like): per §3.1.1 the programmer guarantees
-// safety, and a cyclic structure is a contract violation best caught
-// loudly.
+// Reorganize is copy-then-commit: the clustered copy is built in
+// fresh extents and the root swap happens only after every element
+// has been written. On any error — a non-tree structure
+// (cclerr.ErrNotTree), a failed placement (cclerr.ErrPlacementFailed),
+// arena exhaustion (cclerr.ErrOutOfMemory) — the original root is
+// returned unchanged, freeOld is never called, and the input
+// structure remains fully usable; the returned Stats carry Aborted=1
+// so degradation is visible through telemetry.
 func Reorganize(m *machine.Machine, root memsys.Addr, lay Layout, cfg Config,
-	freeOld func(memsys.Addr)) (memsys.Addr, Stats) {
-	return ReorganizeWith(m, root, lay, NewPlacer(m.Arena, cfg), freeOld)
+	freeOld func(memsys.Addr)) (memsys.Addr, Stats, error) {
+	placer, err := NewPlacer(m.Arena, cfg)
+	if err != nil {
+		return root, Stats{Aborted: 1}, err
+	}
+	return ReorganizeWith(m, root, lay, placer, freeOld)
 }
 
 // snapNode is the host-side record of one element taken during the
@@ -216,7 +267,10 @@ type snapNode struct {
 }
 
 // ReorganizeWith is Reorganize with a caller-supplied (shareable)
-// placement context.
+// placement context. See Reorganize for the copy-then-commit failure
+// contract: every phase before the final commit only reads the old
+// structure and writes freshly-claimed extents, so an error at any
+// point returns the original root with the input intact.
 //
 // The implementation makes one read pass over the old structure in
 // preorder (sequential on depth-first layouts, no worse than any
@@ -226,34 +280,61 @@ type snapNode struct {
 // structure into contiguous blocks without thrashing the cache it is
 // trying to help.
 func ReorganizeWith(m *machine.Machine, root memsys.Addr, lay Layout, placer *Placer,
-	freeOld func(memsys.Addr)) (memsys.Addr, Stats) {
+	freeOld func(memsys.Addr)) (newRoot memsys.Addr, stats Stats, err error) {
 
 	if err := lay.validate(); err != nil {
-		panic(err)
+		return root, Stats{Aborted: 1}, err
 	}
 	if root.IsNil() {
-		return memsys.NilAddr, Stats{}
+		return memsys.NilAddr, Stats{}, nil
 	}
+
+	// A corrupt structure can send the traversal's user-supplied
+	// accessors through a wild pointer, which the arena reports by
+	// panicking with a typed memsys.Fault (its SIGSEGV). Copy-then-
+	// commit converts that into an ordinary abort: nothing old has
+	// been modified yet, so recover and report the structure as
+	// untraversable.
+	defer func() {
+		if r := recover(); r != nil {
+			f, isFault := r.(memsys.Fault)
+			if !isFault {
+				panic(r)
+			}
+			newRoot, stats = root, Stats{Aborted: 1}
+			err = fmt.Errorf("ccmorph: traversal faulted: %w: %w", cclerr.ErrNotTree, f)
+		}
+	}()
+
 	claimedBefore := placer.Claimed()
 
 	// Phase 1: snapshot the structure in preorder.
-	nodes := snapshot(m, root, lay)
+	nodes, err := snapshot(m, root, lay)
+	if err != nil {
+		return root, Stats{Aborted: 1}, err
+	}
 
 	// Phase 2: subtree clustering, host-side.
 	k := placer.geo.NodesPerBlock(lay.NodeSize)
 	m.Tick(ClusterCost * int64(len(nodes)))
 	clusters := clusterize(nodes, lay.MaxKids, k)
 
-	stats := Stats{
+	stats = Stats{
 		Nodes:       int64(len(nodes)),
 		Clusters:    int64(len(clusters)),
 		NodesPerBlk: k,
 	}
 
-	// Phase 3a: place clusters and build the relocation map.
+	// Phase 3a: place clusters and build the relocation map. Failures
+	// here (oversized cluster, exhausted arena, injected fault) leave
+	// only unreferenced fresh extents behind — the old structure has
+	// not been touched.
 	newAddr := make([]memsys.Addr, len(nodes))
 	for _, c := range clusters {
-		base, hot := placer.place(int64(len(c)) * lay.NodeSize)
+		base, hot, perr := placer.place(int64(len(c)) * lay.NodeSize)
+		if perr != nil {
+			return root, Stats{Aborted: 1}, perr
+		}
 		if hot {
 			stats.HotClusters++
 		}
@@ -264,6 +345,9 @@ func ReorganizeWith(m *machine.Machine, root memsys.Addr, lay Layout, placer *Pl
 
 	// Phase 3b: write every element at its new home and rewire its
 	// pointers (child links, and its own parent link if present).
+	// Writes go exclusively to the newly-placed copies; old elements
+	// are never mutated, so the commit below is the only point of no
+	// return.
 	for _, c := range clusters {
 		for _, idx := range c {
 			nd := &nodes[idx]
@@ -287,6 +371,8 @@ func ReorganizeWith(m *machine.Machine, root memsys.Addr, lay Layout, placer *Pl
 		}
 	}
 
+	// Commit: the copy is complete and internally consistent; only now
+	// may the old elements be reclaimed.
 	if freeOld != nil {
 		for i := range nodes {
 			freeOld(nodes[i].old)
@@ -294,13 +380,14 @@ func ReorganizeWith(m *machine.Machine, root memsys.Addr, lay Layout, placer *Pl
 	}
 
 	stats.NewBytes = placer.Claimed() - claimedBefore
-	return newAddr[0], stats
+	return newAddr[0], stats, nil
 }
 
 // snapshot reads the structure once, in preorder, into host-side
-// records, charging the cache for each element read. It panics if an
-// element is reachable twice.
-func snapshot(m *machine.Machine, root memsys.Addr, lay Layout) []snapNode {
+// records, charging the cache for each element read. A structure that
+// is not tree-like — an element reachable twice (DAG or cycle), or a
+// child pointer escaping the traversal — fails with cclerr.ErrNotTree.
+func snapshot(m *machine.Machine, root memsys.Addr, lay Layout) ([]snapNode, error) {
 	index := make(map[memsys.Addr]int)
 	var nodes []snapNode
 
@@ -314,7 +401,8 @@ func snapshot(m *machine.Machine, root memsys.Addr, lay Layout) []snapNode {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if _, dup := index[f.addr]; dup {
-			panic(fmt.Sprintf("ccmorph: element %v reachable twice; structure is not tree-like", f.addr))
+			return nil, cclerr.Errorf(cclerr.ErrNotTree,
+				"ccmorph: element %v reachable twice", f.addr)
 		}
 		idx := len(nodes)
 		index[f.addr] = idx
@@ -350,12 +438,13 @@ func snapshot(m *machine.Machine, root memsys.Addr, lay Layout) []snapNode {
 			}
 			idx, ok := index[a]
 			if !ok {
-				panic(fmt.Sprintf("ccmorph: child %v of %v was not visited; external structure?", a, nodes[i].old))
+				return nil, cclerr.Errorf(cclerr.ErrNotTree,
+					"ccmorph: child %v of %v was not visited; external structure?", a, nodes[i].old)
 			}
 			nodes[i].kids[j] = idx
 		}
 	}
-	return nodes
+	return nodes, nil
 }
 
 // clusterize partitions the snapshot into subtree clusters of at most

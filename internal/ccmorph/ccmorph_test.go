@@ -1,8 +1,11 @@
 package ccmorph
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
+
+	"ccl/internal/cclerr"
 
 	"ccl/internal/heap"
 	"ccl/internal/layout"
@@ -56,7 +59,7 @@ func buildComplete(m *machine.Machine, alloc *heap.Malloc, depth int, nodeSize i
 	order := rand.New(rand.NewSource(seed)).Perm(int(n))
 	addrs := make([]memsys.Addr, n) // index = heap position - 1
 	for _, pos := range order {
-		addrs[pos] = alloc.Alloc(nodeSize)
+		addrs[pos] = heap.MustAlloc(alloc, nodeSize)
 	}
 	for i := int64(0); i < n; i++ {
 		a := addrs[i]
@@ -112,7 +115,10 @@ func TestReorganizePreservesTopology(t *testing.T) {
 	root, n := buildComplete(m, alloc, 8, 20, 1)
 	before := collectLevelOrder(m, root)
 
-	newRoot, st := Reorganize(m, root, binLayout(20, false), testConfig(), nil)
+	newRoot, st, err := Reorganize(m, root, binLayout(20, false), testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	after := collectLevelOrder(m, newRoot)
 
 	if int64(len(after)) != n || st.Nodes != n {
@@ -127,7 +133,10 @@ func TestReorganizePreservesTopology(t *testing.T) {
 
 func TestReorganizeNilRoot(t *testing.T) {
 	m := newMachine()
-	r, st := Reorganize(m, memsys.NilAddr, binLayout(20, false), testConfig(), nil)
+	r, st, err := Reorganize(m, memsys.NilAddr, binLayout(20, false), testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.IsNil() || st.Nodes != 0 {
 		t.Fatal("nil root should be a no-op")
 	}
@@ -140,8 +149,10 @@ func TestClusteringPacksSubtrees(t *testing.T) {
 
 	cfg := testConfig()
 	cfg.ColorFrac = 0 // clustering only
-	newRoot, st := Reorganize(m, root, binLayout(20, false), cfg, nil)
-
+	newRoot, st, err := Reorganize(m, root, binLayout(20, false), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.NodesPerBlk != 3 {
 		t.Fatalf("k = %d, want 3 (20-byte nodes, 64-byte blocks)", st.NodesPerBlk)
 	}
@@ -178,9 +189,14 @@ func TestColoringPlacesRootRegionHot(t *testing.T) {
 	root, _ := buildComplete(m, alloc, 10, 20, 3)
 
 	cfg := testConfig()
-	newRoot, st := Reorganize(m, root, binLayout(20, false), cfg, nil)
-
-	col := layout.NewColoring(cfg.Geometry, cfg.ColorFrac)
+	newRoot, st, err := Reorganize(m, root, binLayout(20, false), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := layout.NewColoring(cfg.Geometry, cfg.ColorFrac)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !col.IsHot(newRoot) {
 		t.Fatalf("new root %v (set %d) not in hot region", newRoot, col.SetOf(newRoot))
 	}
@@ -228,7 +244,10 @@ func TestParentPointersRewired(t *testing.T) {
 	alloc := heap.New(m.Arena)
 	root, _ := buildComplete(m, alloc, 6, 28, 4)
 
-	newRoot, _ := Reorganize(m, root, binLayout(28, true), testConfig(), nil)
+	newRoot, _, err := Reorganize(m, root, binLayout(28, true), testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if got := m.LoadAddr(newRoot.Add(offParent)); !got.IsNil() {
 		t.Fatalf("new root's parent = %v, want nil", got)
@@ -288,7 +307,7 @@ func TestListReorganization(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	addrs := make([]memsys.Addr, 100)
 	for _, i := range rng.Perm(100) {
-		addrs[i] = alloc.Alloc(nodeSize)
+		addrs[i] = heap.MustAlloc(alloc, nodeSize)
 	}
 	for i, a := range addrs {
 		m.StoreInt(a, int64(i))
@@ -299,7 +318,10 @@ func TestListReorganization(t *testing.T) {
 		m.StoreAddr(a.Add(8), next)
 	}
 
-	newHead, st := Reorganize(m, addrs[0], lay, testConfig(), nil)
+	newHead, st, err := Reorganize(m, addrs[0], lay, testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.NodesPerBlk != 4 {
 		t.Fatalf("k = %d, want 4", st.NodesPerBlk)
 	}
@@ -323,29 +345,26 @@ func TestListReorganization(t *testing.T) {
 	}
 }
 
-func TestCycleDetectionPanics(t *testing.T) {
+func TestCycleDetectionFails(t *testing.T) {
 	m := newMachine()
 	alloc := heap.New(m.Arena)
-	a := alloc.Alloc(20)
-	b := alloc.Alloc(20)
+	a := heap.MustAlloc(alloc, 20)
+	b := heap.MustAlloc(alloc, 20)
 	m.StoreAddr(a.Add(offLeft), b)
 	m.StoreAddr(a.Add(offRight), memsys.NilAddr)
 	m.StoreAddr(b.Add(offLeft), a) // cycle
 	m.StoreAddr(b.Add(offRight), memsys.NilAddr)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("cyclic structure did not panic")
-		}
-	}()
-	Reorganize(m, a, binLayout(20, false), testConfig(), nil)
+	if _, _, err := Reorganize(m, a, binLayout(20, false), testConfig(), nil); !errors.Is(err, cclerr.ErrNotTree) {
+		t.Fatalf("cyclic structure err = %v, want ErrNotTree", err)
+	}
 }
 
-func TestDAGDetectionPanics(t *testing.T) {
+func TestDAGDetectionFails(t *testing.T) {
 	m := newMachine()
 	alloc := heap.New(m.Arena)
-	a := alloc.Alloc(20)
-	b := alloc.Alloc(20)
-	c := alloc.Alloc(20)
+	a := heap.MustAlloc(alloc, 20)
+	b := heap.MustAlloc(alloc, 20)
+	c := heap.MustAlloc(alloc, 20)
 	// a's both children point at c via b: a->b, a->c, b->c (DAG).
 	m.StoreAddr(a.Add(offLeft), b)
 	m.StoreAddr(a.Add(offRight), c)
@@ -353,15 +372,12 @@ func TestDAGDetectionPanics(t *testing.T) {
 	m.StoreAddr(b.Add(offRight), memsys.NilAddr)
 	m.StoreAddr(c.Add(offLeft), memsys.NilAddr)
 	m.StoreAddr(c.Add(offRight), memsys.NilAddr)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("DAG did not panic")
-		}
-	}()
-	Reorganize(m, a, binLayout(20, false), testConfig(), nil)
+	if _, _, err := Reorganize(m, a, binLayout(20, false), testConfig(), nil); !errors.Is(err, cclerr.ErrNotTree) {
+		t.Fatalf("DAG err = %v, want ErrNotTree", err)
+	}
 }
 
-func TestInvalidLayoutPanics(t *testing.T) {
+func TestInvalidLayoutFails(t *testing.T) {
 	m := newMachine()
 	bad := []Layout{
 		{},
@@ -375,14 +391,9 @@ func TestInvalidLayoutPanics(t *testing.T) {
 		}(),
 	}
 	for i, l := range bad {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("bad layout %d did not panic", i)
-				}
-			}()
-			Reorganize(m, memsys.Addr(8192), l, testConfig(), nil)
-		}()
+		if _, _, err := Reorganize(m, memsys.Addr(8192), l, testConfig(), nil); !errors.Is(err, cclerr.ErrInvalidArg) {
+			t.Errorf("bad layout %d: err = %v, want ErrInvalidArg", i, err)
+		}
 	}
 }
 
@@ -399,7 +410,7 @@ func TestRandomTopologiesPreserved(t *testing.T) {
 		// Grow a random tree by repeated leaf attachment.
 		n := 50 + rng.Intn(400)
 		addrs := make([]memsys.Addr, 0, n)
-		root := alloc.Alloc(20)
+		root := heap.MustAlloc(alloc, 20)
 		m.Store32(root.Add(offKey), 0)
 		m.StoreAddr(root.Add(offLeft), memsys.NilAddr)
 		m.StoreAddr(root.Add(offRight), memsys.NilAddr)
@@ -413,7 +424,7 @@ func TestRandomTopologiesPreserved(t *testing.T) {
 			if !m.LoadAddr(parent.Add(off)).IsNil() {
 				continue // slot taken; skip
 			}
-			node := alloc.Alloc(20)
+			node := heap.MustAlloc(alloc, 20)
 			m.Store32(node.Add(offKey), uint32(i))
 			m.StoreAddr(node.Add(offLeft), memsys.NilAddr)
 			m.StoreAddr(node.Add(offRight), memsys.NilAddr)
@@ -428,7 +439,10 @@ func TestRandomTopologiesPreserved(t *testing.T) {
 		}
 		cfg := testConfig()
 		cfg.ColorFrac = colorFrac
-		newRoot, st := Reorganize(m, root, binLayout(20, false), cfg, nil)
+		newRoot, st, err := Reorganize(m, root, binLayout(20, false), cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 		after := collectLevelOrder(m, newRoot)
 
 		if len(before) != len(after) || int(st.Nodes) != len(before) {
@@ -488,7 +502,10 @@ func TestSearchSpeedup(t *testing.T) {
 
 	naive := descend(root, 300, 11)
 	cfg := Config{Geometry: layout.FromLevel(m.Cache.LastLevel()), ColorFrac: 0.5}
-	newRoot, _ := Reorganize(m, root, binLayout(20, false), cfg, nil)
+	newRoot, _, err := Reorganize(m, root, binLayout(20, false), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cc := descend(newRoot, 300, 11)
 
 	if float64(naive)/float64(cc) < 1.3 {

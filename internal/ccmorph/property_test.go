@@ -49,7 +49,7 @@ func buildInsertionBST(m *machine.Machine, alloc heap.Allocator, keys []uint32) 
 }
 
 func newBSTNode(m *machine.Machine, alloc heap.Allocator, key uint32) memsys.Addr {
-	a := alloc.Alloc(20)
+	a := heap.MustAlloc(alloc, 20)
 	m.Store32(a.Add(offKey), key)
 	m.StoreAddr(a.Add(offLeft), memsys.NilAddr)
 	m.StoreAddr(a.Add(offRight), memsys.NilAddr)
@@ -89,7 +89,10 @@ func checkMorphPreserves(keys []uint32, colorFrac float64) error {
 		Geometry:  layout.Geometry{Sets: 64, Assoc: 1, BlockSize: 64},
 		ColorFrac: colorFrac,
 	}
-	newRoot, st := Reorganize(m, root, binLayout(20, false), cfg, nil)
+	newRoot, st, err := Reorganize(m, root, binLayout(20, false), cfg, nil)
+	if err != nil {
+		return fmt.Errorf("Reorganize: %w", err)
+	}
 	after := collectInOrder(m, newRoot)
 
 	if st.Nodes != n {
@@ -110,7 +113,10 @@ func checkMorphPreserves(keys []uint32, colorFrac float64) error {
 		// No node may straddle the color boundary: clusters are
 		// block-aligned and color stripes are block multiples, so
 		// every element is entirely hot or entirely cold.
-		col := layout.NewColoring(cfg.Geometry, colorFrac)
+		col, cerr := layout.NewColoring(cfg.Geometry, colorFrac)
+		if cerr != nil {
+			return fmt.Errorf("NewColoring: %w", cerr)
+		}
 		var check func(a memsys.Addr) error
 		check = func(a memsys.Addr) error {
 			if a.IsNil() {

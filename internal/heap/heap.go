@@ -16,25 +16,64 @@ package heap
 import (
 	"fmt"
 
+	"ccl/internal/cclerr"
 	"ccl/internal/memsys"
 )
 
 // Allocator is the interface shared by the baseline allocator and
 // ccmalloc; benchmarks are written against it so that swapping
 // allocation policies is a one-line change, as in the paper.
+//
+// Failure contract (DESIGN.md §7): allocation can fail — the arena is
+// finite and tests inject growth faults — so Alloc and AllocHint
+// return typed errors wrapping cclerr sentinels (ErrOutOfMemory on
+// exhaustion, ErrInvalidArg on precondition violations) rather than
+// panicking.
 type Allocator interface {
 	// Alloc returns the address of a new object of size bytes,
-	// 8-byte aligned. It panics only on internal corruption.
-	Alloc(size int64) memsys.Addr
+	// 8-byte aligned.
+	Alloc(size int64) (memsys.Addr, error)
 	// AllocHint is Alloc with a co-location hint: an existing
 	// object likely to be accessed contemporaneously with the new
 	// one (paper §3.2.1). The baseline allocator ignores the hint.
-	AllocHint(size int64, hint memsys.Addr) memsys.Addr
-	// Free releases an object returned by Alloc/AllocHint.
-	Free(addr memsys.Addr)
+	AllocHint(size int64, hint memsys.Addr) (memsys.Addr, error)
+	// Free releases an object returned by Alloc/AllocHint. Freeing
+	// an address that is not a live allocation fails with
+	// cclerr.ErrInvalidArg.
+	Free(addr memsys.Addr) error
 	// HeapBytes returns the total arena bytes this allocator has
 	// claimed — the memory-footprint metric of §4.4.
 	HeapBytes() int64
+}
+
+// MustAlloc is Alloc for callers that have sized their workload within
+// the arena by construction (workload kernels, tests, examples).
+//
+// Panic justification: construction-scale code does not thread errors
+// it has made impossible; a failure here is a caller bug or a test's
+// injected fault surfacing where no degradation policy exists, and
+// the typed error is preserved as the panic value. Library code on
+// allocation paths must handle the error instead.
+func MustAlloc(a Allocator, size int64) memsys.Addr {
+	p, err := a.Alloc(size)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MustAllocHint is AllocHint for construction-scale callers; see
+// MustAlloc.
+//
+// Panic justification: same contract as MustAlloc — the typed error
+// is the panic value, and the bench runner's per-experiment recover
+// converts it back into a structured failure record.
+func MustAllocHint(a Allocator, size int64, hint memsys.Addr) memsys.Addr {
+	p, err := a.AllocHint(size, hint)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 const (
@@ -185,25 +224,34 @@ func (m *Malloc) unlinkFree(p memsys.Addr, size int64) {
 
 // --- allocation ---
 
-// Alloc returns a new object of size bytes.
-func (m *Malloc) Alloc(size int64) memsys.Addr {
+// Alloc returns a new object of size bytes. It fails with
+// cclerr.ErrInvalidArg for a non-positive size and propagates arena
+// exhaustion (cclerr.ErrOutOfMemory) from the sbrk path; on failure
+// no allocator state changes.
+func (m *Malloc) Alloc(size int64) (memsys.Addr, error) {
 	if size <= 0 {
-		panic(fmt.Sprintf("heap: Alloc(%d): size must be positive", size))
+		return memsys.NilAddr, cclerr.Errorf(cclerr.ErrInvalidArg,
+			"heap: Alloc(%d): size must be positive", size)
 	}
 	need := chunkSize(size)
 	if p := m.allocFromBins(need); !p.IsNil() {
 		m.stats.Allocs++
 		m.stats.BytesRequested += size
-		return p
+		return p, nil
 	}
-	p := m.allocFromTop(need)
+	p, err := m.allocFromTop(need)
+	if err != nil {
+		return memsys.NilAddr, err
+	}
 	m.stats.Allocs++
 	m.stats.BytesRequested += size
-	return p
+	return p, nil
 }
 
 // AllocHint ignores the hint: the baseline allocator is hint-blind.
-func (m *Malloc) AllocHint(size int64, _ memsys.Addr) memsys.Addr { return m.Alloc(size) }
+func (m *Malloc) AllocHint(size int64, _ memsys.Addr) (memsys.Addr, error) {
+	return m.Alloc(size)
+}
 
 // allocFromBins searches the segregated lists, first-fit within a
 // bin, escalating to larger bins. Returns nil if nothing fits.
@@ -237,27 +285,33 @@ func (m *Malloc) carve(p memsys.Addr, have, need int64) {
 }
 
 // allocFromTop carves from the wilderness, extending it if needed.
-func (m *Malloc) allocFromTop(need int64) memsys.Addr {
+func (m *Malloc) allocFromTop(need int64) (memsys.Addr, error) {
 	if m.segEnd.IsNil() || int64(m.segEnd)-int64(m.top) < need {
-		m.extend(need)
+		if err := m.extend(need); err != nil {
+			return memsys.NilAddr, err
+		}
 	}
 	p := m.top.Add(headerSize) // skip header slot
 	m.writeTags(p, need, true)
 	m.top = m.top.Add(need)
 	m.fence(m.top) // provisional end fence; overwritten by next carve
 	m.stats.BytesLive += need
-	return p
+	return p, nil
 }
 
-// extend grows the heap via sbrk. If the new extent is adjacent to
-// the current segment, the wilderness simply grows; otherwise the old
-// wilderness is released to the free lists and a fresh segment opens.
-func (m *Malloc) extend(need int64) {
+// extend grows the heap via the arena. If the new extent is adjacent
+// to the current segment, the wilderness simply grows; otherwise the
+// old wilderness is released to the free lists and a fresh segment
+// opens. A failed grow leaves the heap exactly as it was.
+func (m *Malloc) extend(need int64) error {
 	want := need + 2*headerSize // room for both fences
 	if want < memsys.DefaultPageSize {
 		want = memsys.DefaultPageSize
 	}
-	start := m.arena.Sbrk(want)
+	start, err := m.arena.Grow(want)
+	if err != nil {
+		return fmt.Errorf("heap: extend(%d): %w", need, err)
+	}
 	grown := m.arena.Brk()
 	m.stats.Extends++
 	m.stats.HeapBytes += int64(grown) - int64(start)
@@ -267,7 +321,7 @@ func (m *Malloc) extend(need int64) {
 		// wilderness and a new end fence caps the grown segment.
 		m.fence(grown.Add(-headerSize))
 		m.segEnd = grown.Add(-headerSize)
-		return
+		return nil
 	}
 	// Non-adjacent extent (another allocator grabbed pages in
 	// between): retire the old wilderness as a free chunk and open
@@ -277,6 +331,7 @@ func (m *Malloc) extend(need int64) {
 	m.fence(grown.Add(-headerSize)) // end-of-segment fence
 	m.top = start.Add(headerSize)   // first header slot
 	m.segEnd = grown.Add(-headerSize)
+	return nil
 }
 
 // retireTop converts any remaining wilderness into a free chunk
@@ -296,13 +351,21 @@ func (m *Malloc) retireTop() {
 // --- free ---
 
 // Free releases the object at addr, coalescing with free neighbours.
-func (m *Malloc) Free(addr memsys.Addr) {
+// Freeing a nil address is a no-op; freeing an address whose tags do
+// not describe a live chunk (double free, interior pointer) fails with
+// cclerr.ErrInvalidArg and changes nothing.
+func (m *Malloc) Free(addr memsys.Addr) error {
 	if addr.IsNil() {
-		return
+		return nil
+	}
+	if !m.arena.Mapped(addr.Add(-headerSize), headerSize) {
+		return cclerr.Errorf(cclerr.ErrInvalidArg,
+			"heap: Free(%v): address outside the heap", addr)
 	}
 	size, used := m.readHeader(addr)
 	if !used || size < minChunk {
-		panic(fmt.Sprintf("heap: Free(%v): not an allocated chunk (size=%d used=%v)", addr, size, used))
+		return cclerr.Errorf(cclerr.ErrInvalidArg,
+			"heap: Free(%v): not an allocated chunk (size=%d used=%v)", addr, size, used)
 	}
 	m.stats.Frees++
 	m.stats.BytesLive -= size
@@ -329,15 +392,17 @@ func (m *Malloc) Free(addr memsys.Addr) {
 		}
 	}
 	m.pushFree(p, size)
+	return nil
 }
 
-// UsableSize returns the payload capacity of an allocated object.
-func (m *Malloc) UsableSize(addr memsys.Addr) int64 {
+// UsableSize returns the payload capacity of an allocated object. It
+// fails with cclerr.ErrInvalidArg when addr is not a live allocation.
+func (m *Malloc) UsableSize(addr memsys.Addr) (int64, error) {
 	size, used := m.readHeader(addr)
 	if !used {
-		panic(fmt.Sprintf("heap: UsableSize(%v): chunk is free", addr))
+		return 0, cclerr.Errorf(cclerr.ErrInvalidArg, "heap: UsableSize(%v): chunk is free", addr)
 	}
-	return size - chunkOverhead
+	return size - chunkOverhead, nil
 }
 
 // CheckInvariants walks every free list verifying tags and links;

@@ -1,9 +1,11 @@
 package heap
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
+	"ccl/internal/cclerr"
 	"ccl/internal/memsys"
 )
 
@@ -14,7 +16,7 @@ func newHeap() (*memsys.Arena, *Malloc) {
 
 func TestAllocBasics(t *testing.T) {
 	a, h := newHeap()
-	p := h.Alloc(24)
+	p := MustAlloc(h, 24)
 	if p.IsNil() {
 		t.Fatal("Alloc returned nil")
 	}
@@ -28,19 +30,20 @@ func TestAllocBasics(t *testing.T) {
 	if a.LoadInt(p) != 12345 {
 		t.Fatal("payload does not hold data")
 	}
-	if got := h.UsableSize(p); got < 24 {
+	got, err := h.UsableSize(p)
+	if err != nil {
+		t.Fatalf("UsableSize: %v", err)
+	}
+	if got < 24 {
 		t.Fatalf("UsableSize = %d, want >= 24", got)
 	}
 }
 
-func TestAllocZeroPanics(t *testing.T) {
+func TestAllocZeroFails(t *testing.T) {
 	_, h := newHeap()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Alloc(0) did not panic")
-		}
-	}()
-	h.Alloc(0)
+	if _, err := h.Alloc(0); !errors.Is(err, cclerr.ErrInvalidArg) {
+		t.Fatalf("Alloc(0) err = %v, want ErrInvalidArg", err)
+	}
 }
 
 func TestSequentialAllocsAreAdjacent(t *testing.T) {
@@ -49,7 +52,7 @@ func TestSequentialAllocsAreAdjacent(t *testing.T) {
 	// order produces address order.
 	var prev memsys.Addr
 	for i := 0; i < 100; i++ {
-		p := h.Alloc(24)
+		p := MustAlloc(h, 24)
 		if !prev.IsNil() && p <= prev {
 			t.Fatalf("allocation %d at %v not after %v", i, p, prev)
 		}
@@ -62,10 +65,10 @@ func TestSequentialAllocsAreAdjacent(t *testing.T) {
 
 func TestFreeAndReuse(t *testing.T) {
 	_, h := newHeap()
-	p := h.Alloc(40)
+	p := MustAlloc(h, 40)
 	h.Alloc(40) // barrier so p is not top-adjacent
 	h.Free(p)
-	q := h.Alloc(40)
+	q := MustAlloc(h, 40)
 	if q != p {
 		t.Fatalf("freed chunk not reused: got %v, want %v", q, p)
 	}
@@ -76,8 +79,8 @@ func TestFreeAndReuse(t *testing.T) {
 
 func TestCoalesceForward(t *testing.T) {
 	_, h := newHeap()
-	p := h.Alloc(40)
-	q := h.Alloc(40)
+	p := MustAlloc(h, 40)
+	q := MustAlloc(h, 40)
 	h.Alloc(40) // barrier
 	h.Free(q)
 	h.Free(p) // should merge with q
@@ -85,7 +88,7 @@ func TestCoalesceForward(t *testing.T) {
 		t.Fatal("no coalesce recorded")
 	}
 	// Merged chunk can satisfy a request bigger than either part.
-	r := h.Alloc(80)
+	r := MustAlloc(h, 80)
 	if r != p {
 		t.Fatalf("merged chunk not used: got %v, want %v", r, p)
 	}
@@ -96,12 +99,12 @@ func TestCoalesceForward(t *testing.T) {
 
 func TestCoalesceBackward(t *testing.T) {
 	_, h := newHeap()
-	p := h.Alloc(40)
-	q := h.Alloc(40)
+	p := MustAlloc(h, 40)
+	q := MustAlloc(h, 40)
 	h.Alloc(40) // barrier
 	h.Free(p)
 	h.Free(q) // should merge backward into p
-	r := h.Alloc(80)
+	r := MustAlloc(h, 80)
 	if r != p {
 		t.Fatalf("backward merge failed: got %v, want %v", r, p)
 	}
@@ -109,14 +112,14 @@ func TestCoalesceBackward(t *testing.T) {
 
 func TestCoalesceBothSides(t *testing.T) {
 	_, h := newHeap()
-	p := h.Alloc(40)
-	q := h.Alloc(40)
-	r := h.Alloc(40)
+	p := MustAlloc(h, 40)
+	q := MustAlloc(h, 40)
+	r := MustAlloc(h, 40)
 	h.Alloc(40) // barrier
 	h.Free(p)
 	h.Free(r)
 	h.Free(q) // merges with both neighbours
-	s := h.Alloc(120)
+	s := MustAlloc(h, 120)
 	if s != p {
 		t.Fatalf("three-way merge failed: got %v, want %v", s, p)
 	}
@@ -127,10 +130,10 @@ func TestCoalesceBothSides(t *testing.T) {
 
 func TestSplitLargeChunk(t *testing.T) {
 	_, h := newHeap()
-	p := h.Alloc(400)
+	p := MustAlloc(h, 400)
 	h.Alloc(16) // barrier
 	h.Free(p)
-	small := h.Alloc(40)
+	small := MustAlloc(h, 40)
 	if small != p {
 		t.Fatalf("first-fit split should reuse front of freed chunk: got %v, want %v", small, p)
 	}
@@ -153,22 +156,21 @@ func TestFreeNilIsNoop(t *testing.T) {
 	}
 }
 
-func TestDoubleFreePanics(t *testing.T) {
+func TestDoubleFreeFails(t *testing.T) {
 	_, h := newHeap()
-	p := h.Alloc(40)
+	p := MustAlloc(h, 40)
 	h.Alloc(40)
-	h.Free(p)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double free did not panic")
-		}
-	}()
-	h.Free(p)
+	if err := h.Free(p); err != nil {
+		t.Fatalf("first Free: %v", err)
+	}
+	if err := h.Free(p); !errors.Is(err, cclerr.ErrInvalidArg) {
+		t.Fatalf("double free err = %v, want ErrInvalidArg", err)
+	}
 }
 
 func TestLargeAllocations(t *testing.T) {
 	a, h := newHeap()
-	big := h.Alloc(3 * memsys.DefaultPageSize)
+	big := MustAlloc(h, 3 * memsys.DefaultPageSize)
 	if !a.Mapped(big, 3*memsys.DefaultPageSize) {
 		t.Fatal("large allocation not fully mapped")
 	}
@@ -183,9 +185,9 @@ func TestInterleavedSbrkOpensNewSegment(t *testing.T) {
 	a, h := newHeap()
 	h.Alloc(64)
 	a.Sbrk(memsys.DefaultPageSize) // foreign pages between segments
-	p := h.Alloc(memsys.DefaultPageSize)
+	p := MustAlloc(h, memsys.DefaultPageSize)
 	a.StoreInt(p, 7)
-	q := h.Alloc(64)
+	q := MustAlloc(h, 64)
 	a.StoreInt(q, 8)
 	h.Free(p)
 	h.Free(q)
@@ -196,9 +198,9 @@ func TestInterleavedSbrkOpensNewSegment(t *testing.T) {
 
 func TestAllocHintIgnoredByBaseline(t *testing.T) {
 	_, h := newHeap()
-	p := h.Alloc(24)
-	q := h.AllocHint(24, p)
-	r := h.Alloc(24)
+	p := MustAlloc(h, 24)
+	q := MustAllocHint(h, 24, p)
+	r := MustAlloc(h, 24)
 	// Baseline is hint-blind: hinted and unhinted allocations
 	// both just come next in address order.
 	if !(p < q && q < r) {
@@ -208,7 +210,7 @@ func TestAllocHintIgnoredByBaseline(t *testing.T) {
 
 func TestStatsAccounting(t *testing.T) {
 	_, h := newHeap()
-	p := h.Alloc(100)
+	p := MustAlloc(h, 100)
 	h.Alloc(50)
 	s := h.Stats()
 	if s.Allocs != 2 || s.BytesRequested != 150 {
@@ -261,7 +263,7 @@ func TestRandomWorkload(t *testing.T) {
 			continue
 		}
 		size := int64(8 + rng.Intn(300))
-		p := h.Alloc(size)
+		p := MustAlloc(h, size)
 		if overlaps(p, size) {
 			t.Fatalf("step %d: allocation [%v,+%d) overlaps a live object", step, p, size)
 		}
@@ -287,7 +289,7 @@ func TestHeapReusesFreedMemoryUnderChurn(t *testing.T) {
 	_, h := newHeap()
 	var ptrs []memsys.Addr
 	for i := 0; i < 64; i++ {
-		ptrs = append(ptrs, h.Alloc(48))
+		ptrs = append(ptrs, MustAlloc(h, 48))
 	}
 	grown := h.HeapBytes()
 	// Steady-state churn must not grow the heap.
@@ -297,7 +299,7 @@ func TestHeapReusesFreedMemoryUnderChurn(t *testing.T) {
 		}
 		ptrs = ptrs[:0]
 		for i := 0; i < 64; i++ {
-			ptrs = append(ptrs, h.Alloc(48))
+			ptrs = append(ptrs, MustAlloc(h, 48))
 		}
 	}
 	if h.HeapBytes() != grown {

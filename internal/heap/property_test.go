@@ -47,11 +47,14 @@ func checkMallocOps(ops []mallocOp) error {
 			m.Free(live[j].addr)
 			live = append(live[:j], live[j+1:]...)
 		} else {
-			addr := m.Alloc(op.Size)
-			if addr.IsNil() {
-				return fmt.Errorf("op %d %v: allocation failed", i, op)
+			addr, err := m.Alloc(op.Size)
+			if err != nil {
+				return fmt.Errorf("op %d %v: allocation failed: %v", i, op, err)
 			}
-			usable := m.UsableSize(addr)
+			usable, err := m.UsableSize(addr)
+			if err != nil {
+				return fmt.Errorf("op %d %v: %v", i, op, err)
+			}
 			if usable < op.Size {
 				return fmt.Errorf("op %d %v: usable size %d < requested %d", i, op, usable, op.Size)
 			}

@@ -6,9 +6,8 @@
 package layout
 
 import (
-	"fmt"
-
 	"ccl/internal/cache"
+	"ccl/internal/cclerr"
 	"ccl/internal/memsys"
 )
 
@@ -42,6 +41,10 @@ func (g Geometry) BlockAlign(addr memsys.Addr) memsys.Addr {
 // elements of size elem that fit in one cache block (paper §5.3).
 func (g Geometry) NodesPerBlock(elem int64) int64 {
 	if elem <= 0 {
+		// Panic justification: every caller (PlanSubtrees, ccmorph
+		// layout validation, B-tree sizing) validates the element size
+		// before reaching this arithmetic helper; a non-positive size
+		// here means the validation layer itself is broken.
 		panic("layout: element size must be positive")
 	}
 	k := g.BlockSize / elem
@@ -62,10 +65,17 @@ type Coloring struct {
 // NewColoring partitions geometry g with fraction frac of the sets
 // (0 < frac < 1) reserved for hot elements. The paper's experiments
 // use one half (§5.4: "half the L2 cache capacity ... colored into a
-// unique portion").
-func NewColoring(g Geometry, frac float64) Coloring {
+// unique portion"). A fraction outside (0,1) fails with
+// cclerr.ErrInvalidArg; a geometry with fewer than two sets cannot be
+// two-colored and fails with cclerr.ErrBadGeometry.
+func NewColoring(g Geometry, frac float64) (Coloring, error) {
 	if frac <= 0 || frac >= 1 {
-		panic(fmt.Sprintf("layout: coloring fraction %v out of (0,1)", frac))
+		return Coloring{}, cclerr.Errorf(cclerr.ErrInvalidArg,
+			"layout: coloring fraction %v out of (0,1)", frac)
+	}
+	if g.Sets < 2 {
+		return Coloring{}, cclerr.Errorf(cclerr.ErrBadGeometry,
+			"layout: cannot two-color a cache with %d set(s)", g.Sets)
 	}
 	hot := int64(float64(g.Sets) * frac)
 	if hot < 1 {
@@ -74,7 +84,7 @@ func NewColoring(g Geometry, frac float64) Coloring {
 	if hot >= g.Sets {
 		hot = g.Sets - 1
 	}
-	return Coloring{Geometry: g, HotSets: hot}
+	return Coloring{Geometry: g, HotSets: hot}, nil
 }
 
 // HotCapacityNodes returns how many elements of size elem the hot
@@ -109,12 +119,14 @@ type SegmentAllocator struct {
 // NewSegmentAllocator returns an allocator for the hot or cold color
 // region over arena. The cache's way period (sets x block size) must
 // be a power of two — true of every real geometry this repo models —
-// so that extents can be aligned to period boundaries.
-func NewSegmentAllocator(arena *memsys.Arena, c Coloring, hot bool) *SegmentAllocator {
-	if p := c.wayPeriod(); p&(p-1) != 0 {
-		panic(fmt.Sprintf("layout: way period %d is not a power of two", p))
+// so that extents can be aligned to period boundaries; anything else
+// fails with cclerr.ErrBadGeometry.
+func NewSegmentAllocator(arena *memsys.Arena, c Coloring, hot bool) (*SegmentAllocator, error) {
+	if p := c.wayPeriod(); p <= 0 || p&(p-1) != 0 {
+		return nil, cclerr.Errorf(cclerr.ErrBadGeometry,
+			"layout: way period %d is not a power of two", p)
 	}
-	return &SegmentAllocator{coloring: c, hot: hot, arena: arena}
+	return &SegmentAllocator{coloring: c, hot: hot, arena: arena}, nil
 }
 
 // Claimed returns the arena bytes claimed so far.
@@ -160,11 +172,15 @@ func (s *SegmentAllocator) skipToRegion(addr memsys.Addr) memsys.Addr {
 }
 
 // Alloc returns a block-aligned extent of n bytes lying entirely in
-// the allocator's color region. n must not exceed the contiguous run
-// length of the region (HotSets*BlockSize or (Sets-HotSets)*Block).
-func (s *SegmentAllocator) Alloc(n int64) memsys.Addr {
+// the allocator's color region. A non-positive n fails with
+// cclerr.ErrInvalidArg; n larger than the region's contiguous run
+// length (HotSets*BlockSize or (Sets-HotSets)*BlockSize) cannot be
+// placed in one color and fails with cclerr.ErrPlacementFailed;
+// arena exhaustion propagates as cclerr.ErrOutOfMemory.
+func (s *SegmentAllocator) Alloc(n int64) (memsys.Addr, error) {
 	if n <= 0 {
-		panic("layout: SegmentAllocator.Alloc with non-positive size")
+		return memsys.NilAddr, cclerr.Errorf(cclerr.ErrInvalidArg,
+			"layout: SegmentAllocator.Alloc(%d): non-positive size", n)
 	}
 	c := s.coloring
 	runLen := c.HotSets * c.BlockSize
@@ -172,15 +188,20 @@ func (s *SegmentAllocator) Alloc(n int64) memsys.Addr {
 		runLen = (c.Sets - c.HotSets) * c.BlockSize
 	}
 	if n > runLen {
-		panic(fmt.Sprintf("layout: extent of %d bytes exceeds %d-byte color run", n, runLen))
+		return memsys.NilAddr, cclerr.Errorf(cclerr.ErrPlacementFailed,
+			"layout: extent of %d bytes exceeds %d-byte color run", n, runLen)
 	}
 	for {
 		if s.limit.IsNil() {
-			s.grow(n)
+			if err := s.grow(n); err != nil {
+				return memsys.NilAddr, err
+			}
 		}
 		p := s.skipToRegion(s.next)
 		if p.Add(n) > s.limit {
-			s.grow(n)
+			if err := s.grow(n); err != nil {
+				return memsys.NilAddr, err
+			}
 			continue
 		}
 		// The extent must fit inside p's contiguous color run.
@@ -191,7 +212,7 @@ func (s *SegmentAllocator) Alloc(n int64) memsys.Addr {
 		// property test — see TestSegmentAllocatorExtentStaysInRun.)
 		if p.Add(n) <= s.runEnd(p) {
 			s.next = memsys.Addr(alignUp(int64(p)+n, c.BlockSize))
-			return p
+			return p, nil
 		}
 		// Extent straddles out of the color run: jump to the start
 		// of the next run and retry (n <= runLen guarantees a fit).
@@ -204,16 +225,24 @@ func alignUp(n, a int64) int64 { return (n + a - 1) &^ (a - 1) }
 // grow claims more arena, starting on a way-period boundary so the
 // color stripes of Figure 2 line up — the paper's requirement that
 // coloring gaps be multiples of the VM page size falls out of this
-// alignment for all modeled geometries.
-func (s *SegmentAllocator) grow(n int64) {
+// alignment for all modeled geometries. A failed grow leaves the
+// allocator's claimed state unchanged (alignment padding already
+// consumed by the arena stays consumed, but is never counted here).
+func (s *SegmentAllocator) grow(n int64) error {
 	period := s.coloring.wayPeriod()
-	start := s.arena.AlignBrk(period)
-	s.arena.Sbrk(n + period) // at least one full period of slack
+	start, err := s.arena.AlignTo(period)
+	if err != nil {
+		return err
+	}
+	if _, err := s.arena.Grow(n + period); err != nil { // at least one full period of slack
+		return err
+	}
 	end := s.arena.Brk()
 	s.claimed += int64(end) - int64(start)
 	s.next = start
 	s.limit = end
 	s.extents = appendExtent(s.extents, start, end)
+	return nil
 }
 
 // appendExtent records [start, end), merging with the previous extent
@@ -238,12 +267,15 @@ type BlockBump struct {
 	extents   []memsys.AddrRange
 }
 
-// NewBlockBump returns a block-granular bump allocator over arena.
-func NewBlockBump(arena *memsys.Arena, blockSize int64) *BlockBump {
+// NewBlockBump returns a block-granular bump allocator over arena. A
+// block size that is not a positive power of two fails with
+// cclerr.ErrBadGeometry.
+func NewBlockBump(arena *memsys.Arena, blockSize int64) (*BlockBump, error) {
 	if blockSize <= 0 || blockSize&(blockSize-1) != 0 {
-		panic(fmt.Sprintf("layout: block size %d must be a positive power of two", blockSize))
+		return nil, cclerr.Errorf(cclerr.ErrBadGeometry,
+			"layout: block size %d must be a positive power of two", blockSize)
 	}
-	return &BlockBump{arena: arena, blockSize: blockSize}
+	return &BlockBump{arena: arena, blockSize: blockSize}, nil
 }
 
 // Claimed returns the arena bytes claimed so far.
@@ -254,11 +286,17 @@ func (b *BlockBump) Extents() []memsys.AddrRange {
 	return append([]memsys.AddrRange(nil), b.extents...)
 }
 
-// Alloc returns the next block-aligned cache block.
-func (b *BlockBump) Alloc() memsys.Addr {
+// Alloc returns the next block-aligned cache block, propagating
+// arena exhaustion (cclerr.ErrOutOfMemory) from the grow path.
+func (b *BlockBump) Alloc() (memsys.Addr, error) {
 	if b.next.IsNil() || b.next.Add(b.blockSize) > b.limit {
-		start := b.arena.AlignBrk(b.blockSize)
-		b.arena.Sbrk(64 * b.blockSize)
+		start, err := b.arena.AlignTo(b.blockSize)
+		if err != nil {
+			return memsys.NilAddr, err
+		}
+		if _, err := b.arena.Grow(64 * b.blockSize); err != nil {
+			return memsys.NilAddr, err
+		}
 		b.claimed += int64(b.arena.Brk()) - int64(start)
 		b.next = start
 		b.limit = b.arena.Brk()
@@ -266,7 +304,7 @@ func (b *BlockBump) Alloc() memsys.Addr {
 	}
 	p := b.next
 	b.next = b.next.Add(b.blockSize)
-	return p
+	return p, nil
 }
 
 // SubtreeParams describes how a tree is packed into cache blocks.
@@ -279,13 +317,21 @@ type SubtreeParams struct {
 // PlanSubtrees computes clustering and coloring parameters from the
 // cache geometry, element size, and coloring fraction — the work
 // "ccmorph determines ... from the cache parameters and structure
-// element size" (§3.1.1).
-func PlanSubtrees(g Geometry, elemSize int64, colorFrac float64) SubtreeParams {
+// element size" (§3.1.1). It fails with cclerr.ErrInvalidArg for a
+// non-positive element size or an unusable coloring fraction.
+func PlanSubtrees(g Geometry, elemSize int64, colorFrac float64) (SubtreeParams, error) {
+	if elemSize <= 0 {
+		return SubtreeParams{}, cclerr.Errorf(cclerr.ErrInvalidArg,
+			"layout: element size %d must be positive", elemSize)
+	}
 	k := g.NodesPerBlock(elemSize)
-	col := NewColoring(g, colorFrac)
+	col, err := NewColoring(g, colorFrac)
+	if err != nil {
+		return SubtreeParams{}, err
+	}
 	return SubtreeParams{
 		ElemSize:      elemSize,
 		NodesPerBlock: k,
 		HotNodes:      col.HotCapacityNodes(elemSize),
-	}
+	}, nil
 }

@@ -1,12 +1,23 @@
 package layout
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
 	"ccl/internal/cache"
+	"ccl/internal/cclerr"
 	"ccl/internal/memsys"
 )
+
+// must unwraps constructor results in tests whose inputs make failure
+// impossible; a panic here fails the test loudly.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
 
 // geom16 is an easily-reasoned geometry: 16 sets, direct-mapped,
 // 64-byte blocks (1 KB cache).
@@ -60,36 +71,31 @@ func TestNodesPerBlockPanics(t *testing.T) {
 }
 
 func TestNewColoring(t *testing.T) {
-	c := NewColoring(geom16, 0.5)
+	c := must(NewColoring(geom16, 0.5))
 	if c.HotSets != 8 {
 		t.Fatalf("HotSets = %d, want 8", c.HotSets)
 	}
 	// Extremes clamp to [1, Sets-1].
-	if NewColoring(geom16, 0.001).HotSets != 1 {
+	if must(NewColoring(geom16, 0.001)).HotSets != 1 {
 		t.Error("tiny fraction should clamp to 1 hot set")
 	}
-	if NewColoring(geom16, 0.999).HotSets != 15 {
+	if must(NewColoring(geom16, 0.999)).HotSets != 15 {
 		t.Error("huge fraction should clamp to Sets-1")
 	}
 	for _, frac := range []float64{0, 1, -0.5, 2} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("NewColoring(%v) did not panic", frac)
-				}
-			}()
-			NewColoring(geom16, frac)
-		}()
+		if _, err := NewColoring(geom16, frac); !errors.Is(err, cclerr.ErrInvalidArg) {
+			t.Errorf("NewColoring(%v) err = %v, want ErrInvalidArg", frac, err)
+		}
 	}
 }
 
 func TestHotCapacityNodes(t *testing.T) {
-	c := NewColoring(geom16, 0.5)
+	c := must(NewColoring(geom16, 0.5))
 	// 8 sets x 1 way x 3 nodes (20 B in 64 B blocks) = 24.
 	if got := c.HotCapacityNodes(20); got != 24 {
 		t.Fatalf("HotCapacityNodes(20) = %d, want 24", got)
 	}
-	c2 := NewColoring(Geometry{Sets: 16, Assoc: 2, BlockSize: 64}, 0.5)
+	c2 := must(NewColoring(Geometry{Sets: 16, Assoc: 2, BlockSize: 64}, 0.5))
 	if got := c2.HotCapacityNodes(20); got != 48 {
 		t.Fatalf("2-way HotCapacityNodes = %d, want 48", got)
 	}
@@ -97,10 +103,10 @@ func TestHotCapacityNodes(t *testing.T) {
 
 func TestSegmentAllocatorHotStaysHot(t *testing.T) {
 	arena := memsys.NewArena(0)
-	col := NewColoring(geom16, 0.5)
-	hot := NewSegmentAllocator(arena, col, true)
+	col := must(NewColoring(geom16, 0.5))
+	hot := must(NewSegmentAllocator(arena, col, true))
 	for i := 0; i < 200; i++ {
-		p := hot.Alloc(64)
+		p := must(hot.Alloc(64))
 		if !col.IsHot(p) {
 			t.Fatalf("hot alloc %d at %v maps to set %d (hot sets: %d)", i, p, col.SetOf(p), col.HotSets)
 		}
@@ -109,10 +115,10 @@ func TestSegmentAllocatorHotStaysHot(t *testing.T) {
 
 func TestSegmentAllocatorColdStaysCold(t *testing.T) {
 	arena := memsys.NewArena(0)
-	col := NewColoring(geom16, 0.5)
-	cold := NewSegmentAllocator(arena, col, false)
+	col := must(NewColoring(geom16, 0.5))
+	cold := must(NewSegmentAllocator(arena, col, false))
 	for i := 0; i < 200; i++ {
-		p := cold.Alloc(64)
+		p := must(cold.Alloc(64))
 		if col.IsHot(p) {
 			t.Fatalf("cold alloc %d at %v maps to hot set %d", i, p, col.SetOf(p))
 		}
@@ -121,13 +127,13 @@ func TestSegmentAllocatorColdStaysCold(t *testing.T) {
 
 func TestSegmentAllocatorMultiBlockExtents(t *testing.T) {
 	arena := memsys.NewArena(0)
-	col := NewColoring(geom16, 0.5)
+	col := must(NewColoring(geom16, 0.5))
 	for _, hot := range []bool{true, false} {
-		s := NewSegmentAllocator(arena, col, hot)
+		s := must(NewSegmentAllocator(arena, col, hot))
 		// 8 sets x 64 B = 512 B runs on both sides of this coloring.
 		for i := 0; i < 50; i++ {
 			n := int64(64 * (1 + i%8))
-			p := s.Alloc(n)
+			p := must(s.Alloc(n))
 			if int64(p)%64 != 0 {
 				t.Fatalf("extent %v not block aligned", p)
 			}
@@ -143,8 +149,8 @@ func TestSegmentAllocatorMultiBlockExtents(t *testing.T) {
 
 func TestSegmentAllocatorExtentsDisjoint(t *testing.T) {
 	arena := memsys.NewArena(0)
-	col := NewColoring(geom16, 0.25)
-	s := NewSegmentAllocator(arena, col, true)
+	col := must(NewColoring(geom16, 0.25))
+	s := must(NewSegmentAllocator(arena, col, true))
 	type ext struct {
 		p memsys.Addr
 		n int64
@@ -152,7 +158,7 @@ func TestSegmentAllocatorExtentsDisjoint(t *testing.T) {
 	var got []ext
 	for i := 0; i < 100; i++ {
 		n := int64(64 * (1 + i%4))
-		p := s.Alloc(n)
+		p := must(s.Alloc(n))
 		for _, e := range got {
 			if p < e.p.Add(e.n) && e.p < p.Add(n) {
 				t.Fatalf("extent [%v,+%d) overlaps [%v,+%d)", p, n, e.p, e.n)
@@ -165,27 +171,24 @@ func TestSegmentAllocatorExtentsDisjoint(t *testing.T) {
 	}
 }
 
-func TestSegmentAllocatorOversizePanics(t *testing.T) {
+func TestSegmentAllocatorOversizeFails(t *testing.T) {
 	arena := memsys.NewArena(0)
-	col := NewColoring(geom16, 0.5) // hot run = 8*64 = 512 bytes
-	s := NewSegmentAllocator(arena, col, true)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("oversize extent did not panic")
-		}
-	}()
-	s.Alloc(513)
+	col := must(NewColoring(geom16, 0.5)) // hot run = 8*64 = 512 bytes
+	s := must(NewSegmentAllocator(arena, col, true))
+	if _, err := s.Alloc(513); !errors.Is(err, cclerr.ErrPlacementFailed) {
+		t.Fatalf("oversize extent err = %v, want ErrPlacementFailed", err)
+	}
 }
 
 func TestSegmentAllocatorsShareArena(t *testing.T) {
 	arena := memsys.NewArena(0)
-	col := NewColoring(geom16, 0.5)
-	hot := NewSegmentAllocator(arena, col, true)
-	cold := NewSegmentAllocator(arena, col, false)
+	col := must(NewColoring(geom16, 0.5))
+	hot := must(NewSegmentAllocator(arena, col, true))
+	cold := must(NewSegmentAllocator(arena, col, false))
 	var hots, colds []memsys.Addr
 	for i := 0; i < 50; i++ {
-		hots = append(hots, hot.Alloc(64))
-		colds = append(colds, cold.Alloc(128))
+		hots = append(hots, must(hot.Alloc(64)))
+		colds = append(colds, must(cold.Alloc(128)))
 	}
 	seen := map[memsys.Addr]bool{}
 	for _, p := range hots {
@@ -206,11 +209,11 @@ func TestSegmentAllocatorsShareArena(t *testing.T) {
 
 func TestSegmentAllocatorQuick(t *testing.T) {
 	arena := memsys.NewArena(0)
-	col := NewColoring(Geometry{Sets: 64, Assoc: 1, BlockSize: 16}, 0.5)
-	hot := NewSegmentAllocator(arena, col, true)
+	col := must(NewColoring(Geometry{Sets: 64, Assoc: 1, BlockSize: 16}, 0.5))
+	hot := must(NewSegmentAllocator(arena, col, true))
 	f := func(sz uint8) bool {
 		n := int64(sz%30+1) * 16
-		p := hot.Alloc(n)
+		p := must(hot.Alloc(n))
 		for off := int64(0); off < n; off += 16 {
 			if !col.IsHot(p.Add(off)) {
 				return false
@@ -224,7 +227,7 @@ func TestSegmentAllocatorQuick(t *testing.T) {
 }
 
 func TestPlanSubtrees(t *testing.T) {
-	p := PlanSubtrees(geom16, 20, 0.5)
+	p := must(PlanSubtrees(geom16, 20, 0.5))
 	if p.NodesPerBlock != 3 {
 		t.Errorf("NodesPerBlock = %d, want 3", p.NodesPerBlock)
 	}
@@ -235,21 +238,18 @@ func TestPlanSubtrees(t *testing.T) {
 	// half of a 1 MB direct-mapped L2 holds 8192 sets x 3 = 24576
 	// nodes = 64 x 384.
 	g := FromLevel(cache.PaperHierarchy().Levels[1])
-	pp := PlanSubtrees(g, 20, 0.5)
+	pp := must(PlanSubtrees(g, 20, 0.5))
 	if pp.HotNodes != 64*384 {
 		t.Errorf("paper-scale HotNodes = %d, want %d", pp.HotNodes, 64*384)
 	}
 }
 
-func TestNonPowerOfTwoPeriodPanics(t *testing.T) {
+func TestNonPowerOfTwoPeriodFails(t *testing.T) {
 	arena := memsys.NewArena(0)
 	col := Coloring{Geometry: Geometry{Sets: 12, Assoc: 1, BlockSize: 64}, HotSets: 4}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("non-power-of-two period did not panic")
-		}
-	}()
-	NewSegmentAllocator(arena, col, true)
+	if _, err := NewSegmentAllocator(arena, col, true); !errors.Is(err, cclerr.ErrBadGeometry) {
+		t.Fatalf("non-power-of-two period err = %v, want ErrBadGeometry", err)
+	}
 }
 
 func TestColoredAllocatorsPartitionQuick(t *testing.T) {
@@ -258,15 +258,15 @@ func TestColoredAllocatorsPartitionQuick(t *testing.T) {
 	arena := memsys.NewArena(0)
 	f := func(hotFrac uint8, sizes [6]uint8) bool {
 		frac := 0.1 + 0.8*float64(hotFrac)/255
-		col := NewColoring(Geometry{Sets: 128, Assoc: 2, BlockSize: 32}, frac)
-		hot := NewSegmentAllocator(arena, col, true)
-		cold := NewSegmentAllocator(arena, col, false)
+		col := must(NewColoring(Geometry{Sets: 128, Assoc: 2, BlockSize: 32}, frac))
+		hot := must(NewSegmentAllocator(arena, col, true))
+		cold := must(NewSegmentAllocator(arena, col, false))
 		run := col.HotSets * col.BlockSize
 		coldRun := (col.Sets - col.HotSets) * col.BlockSize
 		for _, sz := range sizes {
 			n := (int64(sz%8) + 1) * 32
 			if n <= run {
-				p := hot.Alloc(n)
+				p := must(hot.Alloc(n))
 				for off := int64(0); off < n; off += 32 {
 					if !col.IsHot(p.Add(off)) {
 						return false
@@ -274,7 +274,7 @@ func TestColoredAllocatorsPartitionQuick(t *testing.T) {
 				}
 			}
 			if n <= coldRun {
-				p := cold.Alloc(n)
+				p := must(cold.Alloc(n))
 				for off := int64(0); off < n; off += 32 {
 					if col.IsHot(p.Add(off)) {
 						return false
@@ -299,18 +299,18 @@ func TestColoredAllocatorsPartitionQuick(t *testing.T) {
 func TestSegmentAllocatorExtentStaysInRun(t *testing.T) {
 	arena := memsys.NewArena(0)
 	col := Coloring{Geometry: Geometry{Sets: 128, Assoc: 2, BlockSize: 16}, HotSets: 106}
-	hot := NewSegmentAllocator(arena, col, true)
+	hot := must(NewSegmentAllocator(arena, col, true))
 	for _, n := range []int64{894, 1482} {
-		a := hot.Alloc(n)
+		a := must(hot.Alloc(n))
 		for b := int64(0); b < n; b++ {
 			if !col.IsHot(a.Add(b)) {
 				t.Fatalf("hot extent %v+%d: byte %d in cold set %d", a, n, b, col.SetOf(a.Add(b)))
 			}
 		}
 	}
-	cold := NewSegmentAllocator(arena, col, false)
+	cold := must(NewSegmentAllocator(arena, col, false))
 	for _, n := range []int64{300, 352} {
-		a := cold.Alloc(n)
+		a := must(cold.Alloc(n))
 		for b := int64(0); b < n; b++ {
 			if col.IsHot(a.Add(b)) {
 				t.Fatalf("cold extent %v+%d: byte %d in hot set %d", a, n, b, col.SetOf(a.Add(b)))

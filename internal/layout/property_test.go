@@ -31,8 +31,8 @@ func (o allocOp) String() string {
 // is worthless.
 func checkColoringOps(col Coloring, ops []allocOp) error {
 	arena := memsys.NewArena(0)
-	hot := NewSegmentAllocator(arena, col, true)
-	cold := NewSegmentAllocator(arena, col, false)
+	hot := must(NewSegmentAllocator(arena, col, true))
+	cold := must(NewSegmentAllocator(arena, col, false))
 	type ext struct {
 		a memsys.Addr
 		n int64
@@ -43,7 +43,10 @@ func checkColoringOps(col Coloring, ops []allocOp) error {
 		if op.Hot {
 			s = hot
 		}
-		a := s.Alloc(op.N)
+		a, err := s.Alloc(op.N)
+		if err != nil {
+			return fmt.Errorf("op %d %v: %v", i, op, err)
+		}
 		for b := int64(0); b < op.N; b++ {
 			if col.IsHot(a.Add(b)) != op.Hot {
 				return fmt.Errorf("op %d %v: byte %d of extent %v is in set %d (hot<%d), wrong color",
@@ -73,7 +76,7 @@ func TestColoringNeverMixesSetsProperty(t *testing.T) {
 			BlockSize: 8 << rng.Intn(4), // 8..64, power of two
 		}
 		frac := 0.1 + 0.8*rng.Float64()
-		col := NewColoring(g, frac)
+		col := must(NewColoring(g, frac))
 		hotCap := col.HotSets * g.BlockSize
 		coldCap := (g.Sets - col.HotSets) * g.BlockSize
 		shrink.Check(t, int64(round), 4,
@@ -104,7 +107,7 @@ func TestColoringShrinksFailingCase(t *testing.T) {
 	}
 	needle := allocOp{Hot: true, N: 4096}
 	ops[41] = needle
-	col := NewColoring(Geometry{Sets: 256, Assoc: 1, BlockSize: 64}, 0.5)
+	col := must(NewColoring(Geometry{Sets: 256, Assoc: 1, BlockSize: 64}, 0.5))
 	fails := func(s []allocOp) bool {
 		if checkColoringOps(col, s) != nil {
 			return true

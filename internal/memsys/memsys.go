@@ -8,12 +8,21 @@
 // plain integers, data is stored in page-granular byte buffers, and
 // the cache simulator (package cache) maps those addresses to cache
 // sets exactly as hardware would. See DESIGN.md §1.
+//
+// Failure contract (DESIGN.md §7): growth can fail — the simulated
+// address space is 32-bit, like the paper's UltraSPARC, and tests
+// inject growth faults — so Grow and AlignTo return typed errors
+// (cclerr.ErrOutOfMemory). Bounds violations on mapped memory panic
+// with a Fault: they are the simulator's SIGSEGV, and continuing
+// would silently corrupt unrelated structures.
 package memsys
 
 import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"ccl/internal/cclerr"
 )
 
 // Addr is a simulated virtual address. The zero value is the nil
@@ -59,6 +68,28 @@ const DefaultPageSize = 8192
 // makes nil-pointer dereferences detectable, as on a real OS.
 const arenaBase = DefaultPageSize
 
+// AddrSpaceLimit is the first address past the simulated 32-bit
+// address space: the hard ceiling the break can never cross, matching
+// the paper's 32-bit UltraSPARC and the 4-byte simulated pointers
+// (PtrSize) every structure stores.
+const AddrSpaceLimit = int64(1) << 32
+
+// Fault is the panic value raised by an out-of-bounds access to
+// mapped memory — the simulator's SIGSEGV. It implements error so
+// recovery layers (ccmorph's copy-then-commit) can convert a fault
+// in user-supplied accessor code into an ordinary typed error.
+type Fault struct {
+	Addr   Addr
+	Size   int64
+	Mapped AddrRange
+}
+
+// Error implements error.
+func (f Fault) Error() string {
+	return fmt.Sprintf("memsys: fault accessing %d bytes at %v (mapped region %v)",
+		f.Size, f.Addr, f.Mapped)
+}
+
 // Arena is a simulated address space. It grows on demand in
 // page-granular extents and supports bounds-checked typed loads and
 // stores. Arena performs no cache accounting; package machine layers
@@ -67,16 +98,49 @@ type Arena struct {
 	pageSize int64
 	mem      []byte // backing store; index i holds address arenaBase+i
 	brk      Addr   // first unmapped address (end of the mapped region)
+	limit    int64  // first address Grow may never reach past
+	guard    func(n int64) error
 }
 
 // NewArena returns an empty address space with the given page size.
-// A non-positive pageSize selects DefaultPageSize.
+// A non-positive pageSize selects DefaultPageSize. The arena starts
+// with the full 32-bit address-space limit and the process-wide
+// default grow guard (see SetDefaultGrowGuard).
 func NewArena(pageSize int64) *Arena {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
 	}
-	return &Arena{pageSize: pageSize, brk: arenaBase}
+	return &Arena{pageSize: pageSize, brk: arenaBase, limit: AddrSpaceLimit, guard: defaultGrowGuard}
 }
+
+// defaultGrowGuard is installed on every new arena; the fault-
+// injection CLI path (ccbench -fault) uses it to reach arenas created
+// deep inside experiments. Nil means no guard.
+var defaultGrowGuard func(n int64) error
+
+// SetDefaultGrowGuard sets the guard future NewArena calls install
+// (nil clears it). It does not affect existing arenas; use
+// SetGrowGuard for those.
+func SetDefaultGrowGuard(g func(n int64) error) { defaultGrowGuard = g }
+
+// SetGrowGuard installs a hook consulted before every growth of this
+// arena. A non-nil error from the guard fails the grow with that
+// error (wrapped in cclerr.ErrOutOfMemory); internal/faults uses this
+// seam to schedule "fail the Nth grow" deterministically.
+func (a *Arena) SetGrowGuard(g func(n int64) error) { a.guard = g }
+
+// SetLimit lowers (or restores, up to AddrSpaceLimit) the first
+// address growth may never reach. Tests use small limits to exercise
+// exhaustion without allocating gigabytes of backing store.
+func (a *Arena) SetLimit(limit int64) {
+	if limit > AddrSpaceLimit {
+		limit = AddrSpaceLimit
+	}
+	a.limit = limit
+}
+
+// Limit returns the current address-space ceiling.
+func (a *Arena) Limit() int64 { return a.limit }
 
 // PageSize returns the simulated virtual-memory page size in bytes.
 func (a *Arena) PageSize() int64 { return a.pageSize }
@@ -91,40 +155,87 @@ func (a *Arena) Brk() Addr { return a.brk }
 // Size returns the number of mapped bytes.
 func (a *Arena) Size() int64 { return int64(a.brk) - arenaBase }
 
-// Sbrk extends the mapped region by at least n bytes, rounded up to a
+// Grow extends the mapped region by at least n bytes, rounded up to a
 // whole number of pages, and returns the first address of the new
-// extent. It panics if n is negative.
-func (a *Arena) Sbrk(n int64) Addr {
+// extent. It fails with cclerr.ErrInvalidArg for negative n and with
+// cclerr.ErrOutOfMemory when the rounded extent would cross the
+// address-space limit or the grow guard vetoes it; on failure the
+// mapped region is unchanged.
+func (a *Arena) Grow(n int64) (Addr, error) {
 	if n < 0 {
-		panic("memsys: Sbrk with negative size")
+		return NilAddr, cclerr.Errorf(cclerr.ErrInvalidArg, "memsys: Grow(%d): negative size", n)
 	}
 	pages := (n + a.pageSize - 1) / a.pageSize
-	start := a.brk
 	grow := pages * a.pageSize
+	if int64(a.brk)+grow > a.limit {
+		return NilAddr, cclerr.Errorf(cclerr.ErrOutOfMemory,
+			"memsys: Grow(%d): break %v + %d bytes exceeds the %d-byte address-space limit",
+			n, a.brk, grow, a.limit)
+	}
+	if a.guard != nil {
+		if err := a.guard(n); err != nil {
+			return NilAddr, fmt.Errorf("memsys: Grow(%d) vetoed: %w: %w", n, cclerr.ErrOutOfMemory, err)
+		}
+	}
+	start := a.brk
 	a.mem = append(a.mem, make([]byte, grow)...)
 	a.brk = a.brk.Add(grow)
+	return start, nil
+}
+
+// Sbrk is Grow for callers that have sized their workload within the
+// arena by construction (tests, examples, host-side scratch).
+//
+// Panic justification: Sbrk exists so construction-time code does not
+// thread errors it has made impossible; any error here is a caller
+// bug (negative size or a workload that overflows the declared
+// limit), and the typed error is preserved as the panic value.
+// Library code on allocation paths must call Grow instead.
+func (a *Arena) Sbrk(n int64) Addr {
+	start, err := a.Grow(n)
+	if err != nil {
+		panic(err)
+	}
 	return start
 }
 
-// AlignBrk advances the break so the next Sbrk result is aligned to
+// AlignTo advances the break so the next Grow result is aligned to
 // align bytes (a power of two), returning the aligned break. The
 // skipped bytes are wasted, exactly as an sbrk-based C allocator
-// would waste them.
-func (a *Arena) AlignBrk(align int64) Addr {
+// would waste them. Fails with cclerr.ErrInvalidArg for a bad
+// alignment and propagates Grow failures.
+func (a *Arena) AlignTo(align int64) (Addr, error) {
 	if align <= 0 || align&(align-1) != 0 {
-		panic("memsys: AlignBrk alignment must be a positive power of two")
+		return NilAddr, cclerr.Errorf(cclerr.ErrInvalidArg,
+			"memsys: AlignTo(%d): alignment must be a positive power of two", align)
 	}
 	rem := int64(a.brk) & (align - 1)
 	if rem != 0 {
-		a.Sbrk(align - rem)
-		// Sbrk rounds to pages; when align exceeds the page size the
+		if _, err := a.Grow(align - rem); err != nil {
+			return NilAddr, err
+		}
+		// Grow rounds to pages; when align exceeds the page size the
 		// page rounding may still leave us unaligned, so repeat until
-		// the invariant holds. Each Sbrk strictly advances the break.
+		// the invariant holds. Each Grow strictly advances the break.
 		for int64(a.brk)&(align-1) != 0 {
-			a.Sbrk(1)
+			if _, err := a.Grow(1); err != nil {
+				return NilAddr, err
+			}
 		}
 	}
-	return a.brk
+	return a.brk, nil
+}
+
+// AlignBrk is AlignTo for construction-time callers; see Sbrk.
+//
+// Panic justification: same contract as Sbrk — errors are caller
+// bugs at construction scale, and the typed error is the panic value.
+func (a *Arena) AlignBrk(align int64) Addr {
+	brk, err := a.AlignTo(align)
+	if err != nil {
+		panic(err)
+	}
+	return brk
 }
 
 // Mapped reports whether the n bytes starting at addr are all mapped.
@@ -132,13 +243,17 @@ func (a *Arena) Mapped(addr Addr, n int64) bool {
 	return addr >= arenaBase && n >= 0 && int64(addr)+n <= int64(a.brk)
 }
 
-// check panics with a descriptive fault when an access is out of
-// bounds. Simulated programs with placement bugs fail loudly instead
-// of corrupting unrelated structures.
+// check panics with a descriptive Fault when an access is out of
+// bounds.
+//
+// Panic justification: an unmapped access is the simulator's SIGSEGV
+// — the address arithmetic that produced it is already wrong, and
+// returning an error would let placement bugs corrupt unrelated
+// structures silently. The panic value is a typed Fault so recovery
+// layers (ccmorph) can convert it at a safe boundary.
 func (a *Arena) check(addr Addr, n int64) {
 	if !a.Mapped(addr, n) {
-		panic(fmt.Sprintf("memsys: fault accessing %d bytes at %v (mapped region [%v,%v))",
-			n, addr, Addr(arenaBase), a.brk))
+		panic(Fault{Addr: addr, Size: n, Mapped: AddrRange{Start: arenaBase, End: a.brk}})
 	}
 }
 
@@ -174,10 +289,15 @@ const PtrSize = 4
 // LoadAddr reads a simulated pointer (32-bit, see PtrSize).
 func (a *Arena) LoadAddr(addr Addr) Addr { return Addr(a.Load32(addr)) }
 
-// StoreAddr writes a simulated pointer. It panics if v does not fit
-// the 32-bit simulated address space.
+// StoreAddr writes a simulated pointer.
+//
+// Panic justification: Grow enforces the 32-bit limit, so every
+// address an allocator hands out fits in a simulated pointer; a wider
+// value here is fabricated (corrupted address arithmetic), the moral
+// equivalent of a Fault, and truncating it would plant a wrong
+// pointer for a later dereference to chase.
 func (a *Arena) StoreAddr(addr Addr, v Addr) {
-	if uint64(v) > 0xFFFFFFFF {
+	if int64(v) >= AddrSpaceLimit || int64(v) < 0 {
 		panic(fmt.Sprintf("memsys: address %v exceeds the 32-bit simulated address space", v))
 	}
 	a.Store32(addr, uint32(v))
@@ -203,18 +323,21 @@ func (a *Arena) Memset(addr Addr, b byte, n int64) {
 	}
 }
 
-// Memcpy copies n bytes from src to dst. The regions may not overlap;
-// ccmorph copies between distinct regions only.
-func (a *Arena) Memcpy(dst, src Addr, n int64) {
+// Memcpy copies n bytes from src to dst. The regions may not overlap
+// (ccmorph copies between distinct regions only); overlap fails with
+// cclerr.ErrInvalidArg and copies nothing.
+func (a *Arena) Memcpy(dst, src Addr, n int64) error {
 	if dst == src || n == 0 {
-		return
+		return nil
 	}
 	if (dst < src && dst.Add(n) > src) || (src < dst && src.Add(n) > dst) {
-		panic("memsys: Memcpy with overlapping regions")
+		return cclerr.Errorf(cclerr.ErrInvalidArg,
+			"memsys: Memcpy(%v, %v, %d): overlapping regions", dst, src, n)
 	}
 	d := a.slice(dst, n)
 	s := a.slice(src, n)
 	copy(d, s)
+	return nil
 }
 
 // ReadBytes copies n bytes starting at addr into a fresh buffer.

@@ -1,9 +1,12 @@
 package memsys
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
+
+	"ccl/internal/cclerr"
 )
 
 func TestNewArenaDefaults(t *testing.T) {
@@ -173,15 +176,15 @@ func TestMemsetMemcpy(t *testing.T) {
 	a.Memcpy(dst, dst, 32)
 }
 
-func TestMemcpyOverlapPanics(t *testing.T) {
+func TestMemcpyOverlapFails(t *testing.T) {
 	a := NewArena(0)
 	p := a.Sbrk(64)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("overlapping Memcpy did not panic")
-		}
-	}()
-	a.Memcpy(p.Add(8), p, 32)
+	if err := a.Memcpy(p.Add(8), p, 32); !errors.Is(err, cclerr.ErrInvalidArg) {
+		t.Fatalf("overlapping Memcpy err = %v, want ErrInvalidArg", err)
+	}
+	if err := a.Memcpy(p, p.Add(8), 32); !errors.Is(err, cclerr.ErrInvalidArg) {
+		t.Fatalf("overlapping Memcpy (dst first) err = %v, want ErrInvalidArg", err)
+	}
 }
 
 func TestPageHelpers(t *testing.T) {

@@ -79,6 +79,11 @@ func NaiveLocality(d float64) Locality { return Locality{D: d, K: 1, Rs: 0} }
 //	ms = (1 - Rs/D) / K
 //
 // of §5.1's final equation.
+//
+// Panic justification: the model package is a pure calculator — its
+// inputs are paper constants and geometry already validated by the
+// caller, never runtime data, so an invalid Locality is a programming
+// error (calculator precondition), not an operational failure.
 func (l Locality) MissRate() float64 {
 	if err := l.Validate(); err != nil {
 		panic(err)
@@ -96,6 +101,9 @@ func (l Locality) TransientMissRate(r float64) float64 {
 
 // AmortizedMissRate returns the average of the first p transient miss
 // rates under reuse function r — the m_a(p) of §5.1.
+//
+// Panic justification: calculator precondition (see MissRate) — p is
+// a literal in every caller.
 func (l Locality) AmortizedMissRate(p int, r func(i int) float64) float64 {
 	if p <= 0 {
 		panic("model: AmortizedMissRate needs p > 0")
@@ -154,6 +162,9 @@ func (t CTree) HotNodes() float64 {
 // derivation: K = log2(k+1) (a block transfer brings in one clustered
 // subtree's worth of path nodes) and Rs = log2(hot+1) (the colored
 // top of the tree always hits).
+//
+// Panic justification: calculator precondition (see MissRate) — the
+// CTree fields come from validated geometry and paper constants.
 func (t CTree) Locality() Locality {
 	if err := t.validate(); err != nil {
 		panic(err)

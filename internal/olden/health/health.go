@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"ccl/internal/ccmorph"
+	"ccl/internal/heap"
 	"ccl/internal/machine"
 	"ccl/internal/memsys"
 	"ccl/internal/olden"
@@ -119,6 +120,9 @@ type sim struct {
 	// uses it to tell leaf (patient) elements from list cells.
 	patients   map[memsys.Addr]bool
 	morphBytes int64
+	// morphSkipped counts lists left in their old layout because a
+	// periodic Reorganize failed (degraded, not fatal).
+	morphSkipped int64
 	nextPatID  uint32
 	treated    uint64
 	checksum   uint64
@@ -161,7 +165,7 @@ func Run(env olden.Env, cfg Config) olden.Result {
 // buildVillages allocates the village tree, children after parents,
 // and records post-order traversal order.
 func (s *sim) buildVillages(level int, parent memsys.Addr) memsys.Addr {
-	v := s.env.Alloc.AllocHint(VillageSize, s.env.Variant.Hint(parent))
+	v := heap.MustAllocHint(s.env.Alloc, VillageSize, s.env.Variant.Hint(parent))
 	m := s.m
 	for i := 0; i < 4; i++ {
 		m.StoreAddr(v.Add(vilKids+int64(i)*4), memsys.NilAddr)
@@ -206,7 +210,7 @@ func (s *sim) addList(v memsys.Addr, listOff int64, patient memsys.Addr) {
 		// natural companion.
 		hint = v
 	}
-	cell := s.env.Alloc.AllocHint(CellSize, s.env.Variant.Hint(hint))
+	cell := heap.MustAllocHint(s.env.Alloc, CellSize, s.env.Variant.Hint(hint))
 	m.StoreAddr(cell.Add(cellPatient), patient)
 	m.StoreAddr(cell.Add(cellBack), b)
 	m.StoreAddr(cell.Add(cellForward), memsys.NilAddr)
@@ -336,7 +340,7 @@ func (s *sim) step() {
 			if hint.IsNil() {
 				hint = v
 			}
-			p := s.env.Alloc.AllocHint(PatientSize, s.env.Variant.Hint(hint))
+			p := heap.MustAllocHint(s.env.Alloc, PatientSize, s.env.Variant.Hint(hint))
 			m.StoreAddr(v.Add(vilLastPat), p)
 			s.patients[p] = true
 			m.Store32(p.Add(patID), s.nextPatID)
@@ -386,7 +390,12 @@ func (s *sim) cellLayout() ccmorph.Layout {
 // recorded as ccmorph property.
 func (s *sim) morphAllLists(colorFrac float64) {
 	m := s.m
-	placer := ccmorph.NewPlacer(m.Arena, olden.MorphConfig(m, colorFrac))
+	placer, err := ccmorph.NewPlacer(m.Arena, olden.MorphConfig(m, colorFrac))
+	if err != nil {
+		// Geometry comes from the machine's own last-level cache, so a
+		// failure here is a harness bug: fail fast (DESIGN.md §7).
+		panic(err)
+	}
 	lay := s.cellLayout()
 	for _, v := range s.villages {
 		for _, off := range []int64{vilWaiting, vilAssess, vilInside} {
@@ -394,7 +403,14 @@ func (s *sim) morphAllLists(colorFrac float64) {
 			if head.IsNil() {
 				continue
 			}
-			newHead, _ := ccmorph.ReorganizeWith(m, head, lay, placer, s.freeCell)
+			newHead, _, merr := ccmorph.ReorganizeWith(m, head, lay, placer, s.freeCell)
+			if merr != nil {
+				// Degrade: Reorganize is copy-then-commit, so the
+				// original list is intact — keep walking it in its old
+				// layout this round instead of dying mid-simulation.
+				s.morphSkipped++
+				continue
+			}
 			m.StoreAddr(v.Add(off), newHead)
 			prev := memsys.NilAddr
 			for c := newHead; !c.IsNil(); c = m.Arena.LoadAddr(c.Add(cellForward)) {

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"ccl/internal/ccmorph"
+	"ccl/internal/heap"
 	"ccl/internal/machine"
 	"ccl/internal/memsys"
 	"ccl/internal/olden"
@@ -114,7 +115,7 @@ func (g *graph) build() {
 	g.vertices = make([]memsys.Addr, n)
 	var prev memsys.Addr
 	for i := 0; i < n; i++ {
-		vx := alloc.AllocHint(VertexSize, v.Hint(prev))
+		vx := heap.MustAllocHint(alloc, VertexSize, v.Hint(prev))
 		m.StoreAddr(vx.Add(vtxNext), memsys.NilAddr)
 		m.Store32(vx.Add(vtxMindist), infDist)
 		if !prev.IsNil() {
@@ -128,7 +129,7 @@ func (g *graph) build() {
 	// Bucket arrays, hinted to their vertex.
 	arrBytes := int64(g.cfg.Buckets) * 4
 	for i := 0; i < n; i++ {
-		arr := alloc.AllocHint(arrBytes, v.Hint(g.vertices[i]))
+		arr := heap.MustAllocHint(alloc, arrBytes, v.Hint(g.vertices[i]))
 		for b := int64(0); b < int64(g.cfg.Buckets); b++ {
 			m.StoreAddr(arr.Add(b*4), memsys.NilAddr)
 		}
@@ -168,7 +169,7 @@ func (g *graph) insert(a int, key, w uint32) {
 	if hint.IsNil() {
 		hint = slot
 	}
-	e := g.env.Alloc.AllocHint(EntrySize, g.env.Variant.Hint(hint))
+	e := heap.MustAllocHint(g.env.Alloc, EntrySize, g.env.Variant.Hint(hint))
 	m.StoreAddr(e.Add(entNext), head)
 	m.Store32(e.Add(entKey), key)
 	m.Store32(e.Add(entWeight), w)
@@ -264,7 +265,12 @@ func entryLayout() ccmorph.Layout {
 // the chains from fighting over the hot region.
 func (g *graph) morphChains(colorFrac float64) {
 	m := g.m
-	placer := ccmorph.NewPlacer(m.Arena, olden.MorphConfig(m, colorFrac))
+	placer, err := ccmorph.NewPlacer(m.Arena, olden.MorphConfig(m, colorFrac))
+	if err != nil {
+		// Geometry comes from the machine's own last-level cache, so a
+		// failure here is a harness bug: fail fast (DESIGN.md §7).
+		panic(err)
+	}
 	for _, vx := range g.vertices {
 		arr := m.LoadAddr(vx.Add(vtxHash))
 		for b := int64(0); b < int64(g.cfg.Buckets); b++ {
@@ -273,7 +279,12 @@ func (g *graph) morphChains(colorFrac float64) {
 			if head.IsNil() {
 				continue
 			}
-			newHead, _ := ccmorph.ReorganizeWith(m, head, entryLayout(), placer, nil)
+			newHead, _, merr := ccmorph.ReorganizeWith(m, head, entryLayout(), placer, nil)
+			if merr != nil {
+				// Degrade: the original chain is intact (copy-then-
+				// commit); leave it in its old layout.
+				continue
+			}
 			m.StoreAddr(slot, newHead)
 		}
 	}

@@ -201,7 +201,13 @@ func NewEnv(v Variant, scale int64) Env {
 
 	var alloc heap.Allocator
 	if strat, ok := v.CCMallocStrategy(); ok {
-		alloc = ccmalloc.New(m.Arena, layout.FromLevel(m.Cache.LastLevel()), strat, m.Cache)
+		cc, err := ccmalloc.New(m.Arena, layout.FromLevel(m.Cache.LastLevel()), strat, m.Cache)
+		if err != nil {
+			// Geometry comes from the machine's own last-level cache,
+			// so a failure here is a harness bug: fail fast (DESIGN.md §7).
+			panic(err)
+		}
+		alloc = cc
 	} else {
 		alloc = &meteredMalloc{Malloc: heap.New(m.Arena), clock: m.Cache}
 	}
@@ -223,19 +229,19 @@ const (
 	BaseFreeCost  = 25
 )
 
-func (m *meteredMalloc) Alloc(size int64) memsys.Addr {
+func (m *meteredMalloc) Alloc(size int64) (memsys.Addr, error) {
 	m.clock.Tick(BaseAllocCost)
 	return m.Malloc.Alloc(size)
 }
 
-func (m *meteredMalloc) AllocHint(size int64, hint memsys.Addr) memsys.Addr {
+func (m *meteredMalloc) AllocHint(size int64, hint memsys.Addr) (memsys.Addr, error) {
 	m.clock.Tick(BaseAllocCost)
 	return m.Malloc.Alloc(size)
 }
 
-func (m *meteredMalloc) Free(a memsys.Addr) {
+func (m *meteredMalloc) Free(a memsys.Addr) error {
 	m.clock.Tick(BaseFreeCost)
-	m.Malloc.Free(a)
+	return m.Malloc.Free(a)
 }
 
 // MorphConfig builds the ccmorph configuration targeting the

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"ccl/internal/ccmorph"
+	"ccl/internal/heap"
 	"ccl/internal/machine"
 	"ccl/internal/memsys"
 	"ccl/internal/olden"
@@ -153,7 +154,13 @@ func Run(env olden.Env, cfg Config) olden.Result {
 
 	if frac, ok := env.Variant.MorphColorFrac(); ok {
 		// Olden programs never free; old copies become garbage.
-		root, _ = ccmorph.Reorganize(b.m, root, Layout(), olden.MorphConfig(b.m, frac), nil)
+		newRoot, _, err := ccmorph.Reorganize(b.m, root, Layout(), olden.MorphConfig(b.m, frac), nil)
+		if err != nil {
+			// Degrade: copy-then-commit left the original quadtree
+			// intact; traverse it in its built layout.
+			newRoot = root
+		}
+		root = newRoot
 	}
 
 	var per uint64
@@ -173,7 +180,7 @@ func Run(env olden.Env, cfg Config) olden.Result {
 // build allocates the quadtree for quadrant (x, y, s) under parent.
 func (b *bench) build(x, y, s int, parent memsys.Addr) memsys.Addr {
 	m := b.m
-	n := b.env.Alloc.AllocHint(NodeSize, b.env.Variant.Hint(parent))
+	n := heap.MustAllocHint(b.env.Alloc, NodeSize, b.env.Variant.Hint(parent))
 	m.StoreAddr(n.Add(qtParent), parent)
 	for _, off := range []int64{qtNW, qtNE, qtSW, qtSE} {
 		m.StoreAddr(n.Add(off), memsys.NilAddr)

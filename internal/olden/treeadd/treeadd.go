@@ -10,6 +10,7 @@ package treeadd
 
 import (
 	"ccl/internal/ccmorph"
+	"ccl/internal/heap"
 	"ccl/internal/machine"
 	"ccl/internal/memsys"
 	"ccl/internal/olden"
@@ -59,7 +60,7 @@ func Run(env olden.Env, cfg Config) olden.Result {
 		if depth == 0 {
 			return memsys.NilAddr
 		}
-		n := env.Alloc.AllocHint(NodeSize, env.Variant.Hint(parent))
+		n := heap.MustAllocHint(env.Alloc, NodeSize, env.Variant.Hint(parent))
 		counter++
 		m.Store32(n.Add(offValue), counter)
 		m.StoreAddr(n.Add(offLeft), build(depth-1, n))
@@ -71,7 +72,13 @@ func Run(env olden.Env, cfg Config) olden.Result {
 	if colorFrac, ok := env.Variant.MorphColorFrac(); ok {
 		// Olden programs never free; the old copies become garbage,
 		// which is ccmorph's documented memory cost, not a time cost.
-		root, _ = ccmorph.Reorganize(m, root, Layout(), olden.MorphConfig(m, colorFrac), nil)
+		newRoot, _, err := ccmorph.Reorganize(m, root, Layout(), olden.MorphConfig(m, colorFrac), nil)
+		if err != nil {
+			// Degrade: copy-then-commit left the original tree intact;
+			// sum it in its built layout.
+			newRoot = root
+		}
+		root = newRoot
 	}
 
 	var total uint64

@@ -126,6 +126,11 @@ type Oracle struct {
 
 // New builds a reference simulator for cfg. Like cache.New it panics
 // on an invalid configuration.
+//
+// Panic justification: the oracle only ever receives configurations
+// that trace.Decode has already validated (a successfully decoded
+// trace is replayable by contract), so an invalid config here is a
+// harness bug, not a data error.
 func New(cfg cache.Config) *Oracle {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
@@ -194,6 +199,11 @@ func (l *level) victim(block int64) int {
 // the event stream it produces, in the production simulator's
 // callback order (per sub-block: evicts and fills by ascending level,
 // then the access resolution).
+//
+// Panic justification: records reach Access only through
+// trace.Decode, which rejects unknown kinds and non-positive sizes;
+// violating these preconditions means the differential harness
+// itself is broken.
 func (o *Oracle) Access(addr memsys.Addr, size int64, kind cache.AccessKind) []Event {
 	if kind != cache.Load && kind != cache.Store {
 		panic(fmt.Sprintf("oracle: unsupported access kind %v", kind))

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"ccl/internal/cache"
+	"ccl/internal/cclerr"
 	"ccl/internal/memsys"
 )
 
@@ -158,7 +159,17 @@ func (d *decoder) byteVal() (byte, error) {
 
 // Decode parses an encoded trace. The returned trace's configuration
 // is validated, so a successfully decoded trace is always replayable.
+// Every decode failure wraps cclerr.ErrCorruptTrace, so callers can
+// classify truncated or bit-flipped captures without string matching.
 func Decode(data []byte) (Trace, error) {
+	t, err := decode(data)
+	if err != nil {
+		return t, fmt.Errorf("%w: %w", cclerr.ErrCorruptTrace, err)
+	}
+	return t, nil
+}
+
+func decode(data []byte) (Trace, error) {
 	var t Trace
 	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic) {
 		return t, fmt.Errorf("trace: bad magic")

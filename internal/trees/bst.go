@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"ccl/internal/ccmorph"
+	"ccl/internal/cclerr"
 	"ccl/internal/heap"
 	"ccl/internal/layout"
 	"ccl/internal/machine"
@@ -105,10 +106,12 @@ func buildShape(nodes *[]shape, lo, hi uint32) int {
 
 // Build constructs a balanced BST of n keys (1..n) whose nodes are
 // allocated from alloc in the given order. seed controls the random
-// permutation for RandomOrder.
-func Build(m *machine.Machine, alloc heap.Allocator, n int64, order Order, seed int64) *BST {
+// permutation for RandomOrder. A non-positive n or unknown order
+// fails with cclerr.ErrInvalidArg; allocation failures propagate.
+func Build(m *machine.Machine, alloc heap.Allocator, n int64, order Order, seed int64) (*BST, error) {
 	if n <= 0 {
-		panic(fmt.Sprintf("trees: Build(%d): need at least one key", n))
+		return nil, cclerr.Errorf(cclerr.ErrInvalidArg,
+			"trees: Build(%d): need at least one key", n)
 	}
 	var nodes []shape
 	nodes = make([]shape, 0, n)
@@ -139,12 +142,17 @@ func Build(m *machine.Machine, alloc heap.Allocator, n int64, order Order, seed 
 			}
 		}
 	default:
-		panic(fmt.Sprintf("trees: unknown order %d", int(order)))
+		return nil, cclerr.Errorf(cclerr.ErrInvalidArg,
+			"trees: unknown order %d", int(order))
 	}
 
 	addrs := make([]memsys.Addr, n)
 	for _, idx := range perm {
-		addrs[idx] = alloc.Alloc(BSTNodeSize)
+		a, err := alloc.Alloc(BSTNodeSize)
+		if err != nil {
+			return nil, fmt.Errorf("trees: Build: node %d: %w", idx, err)
+		}
+		addrs[idx] = a
 	}
 	// Write nodes through the arena directly: construction is not
 	// part of the measured search phase.
@@ -154,7 +162,22 @@ func Build(m *machine.Machine, alloc heap.Allocator, n int64, order Order, seed 
 		m.Arena.StoreAddr(a.Add(bstOffLeft), addrOf(addrs, nd.left))
 		m.Arena.StoreAddr(a.Add(bstOffRight), addrOf(addrs, nd.right))
 	}
-	return &BST{m: m, root: addrs[root], n: n}
+	return &BST{m: m, root: addrs[root], n: n}, nil
+}
+
+// MustBuild is Build for benchmark and test construction phases that
+// size their workload within the arena by design.
+//
+// Panic justification: construction-scale code does not thread errors
+// it has made impossible; the typed error is the panic value, and the
+// bench runner's per-experiment recover converts it into a structured
+// failure record.
+func MustBuild(m *machine.Machine, alloc heap.Allocator, n int64, order Order, seed int64) *BST {
+	t, err := Build(m, alloc, n, order, seed)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 func addrOf(addrs []memsys.Addr, idx int) memsys.Addr {
@@ -253,25 +276,27 @@ func Layout() ccmorph.Layout {
 
 // Morph reorganizes the tree with ccmorph — subtree clustering plus,
 // when colorFrac > 0, coloring — turning it into the paper's
-// transparent C-tree. freeOld, if non-nil, reclaims old nodes.
-func (t *BST) Morph(colorFrac float64, freeOld func(memsys.Addr)) ccmorph.Stats {
+// transparent C-tree. freeOld, if non-nil, reclaims old nodes. On
+// error the tree keeps its original layout and remains searchable
+// (Reorganize is copy-then-commit).
+func (t *BST) Morph(colorFrac float64, freeOld func(memsys.Addr)) (ccmorph.Stats, error) {
 	cfg := ccmorph.Config{
 		Geometry:  layout.FromLevel(t.m.Cache.LastLevel()),
 		ColorFrac: colorFrac,
 	}
-	newRoot, st := ccmorph.Reorganize(t.m, t.root, Layout(), cfg, freeOld)
+	newRoot, st, err := ccmorph.Reorganize(t.m, t.root, Layout(), cfg, freeOld)
 	t.root = newRoot
-	return st
+	return st, err
 }
 
 // MorphWith is Morph with a caller-supplied placement context. The
 // telemetry experiments use it to learn where the new layout lives
 // (Placer.Extents) so the reorganized structure can be registered as
 // its own miss-attribution region.
-func (t *BST) MorphWith(placer *ccmorph.Placer, freeOld func(memsys.Addr)) ccmorph.Stats {
-	newRoot, st := ccmorph.ReorganizeWith(t.m, t.root, Layout(), placer, freeOld)
+func (t *BST) MorphWith(placer *ccmorph.Placer, freeOld func(memsys.Addr)) (ccmorph.Stats, error) {
+	newRoot, st, err := ccmorph.ReorganizeWith(t.m, t.root, Layout(), placer, freeOld)
 	t.root = newRoot
-	return st
+	return st, err
 }
 
 // CheckSearchable verifies every key in [1, n] is reachable; tests

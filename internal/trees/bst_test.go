@@ -1,8 +1,12 @@
 package trees
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
+
+	"ccl/internal/cclerr"
+	"ccl/internal/memsys"
 
 	"ccl/internal/cache"
 	"ccl/internal/heap"
@@ -24,7 +28,7 @@ func TestBuildProducesSearchableBST(t *testing.T) {
 	for _, order := range []Order{RandomOrder, DepthFirstOrder, LevelOrder} {
 		m := machine.NewScaled(64)
 		alloc := heap.New(m.Arena)
-		tr := Build(m, alloc, 500, order, 42)
+		tr := MustBuild(m, alloc, 500, order, 42)
 		if tr.N() != 500 {
 			t.Fatalf("%v: N = %d", order, tr.N())
 		}
@@ -39,26 +43,23 @@ func TestBuildProducesSearchableBST(t *testing.T) {
 
 func TestBuildSingleKey(t *testing.T) {
 	m := machine.NewScaled(64)
-	tr := Build(m, heap.New(m.Arena), 1, RandomOrder, 1)
+	tr := MustBuild(m, heap.New(m.Arena), 1, RandomOrder, 1)
 	if !tr.Search(1) || tr.Search(2) {
 		t.Fatal("single-key tree broken")
 	}
 }
 
-func TestBuildZeroPanics(t *testing.T) {
+func TestBuildZeroFails(t *testing.T) {
 	m := machine.NewScaled(64)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Build(0) did not panic")
-		}
-	}()
-	Build(m, heap.New(m.Arena), 0, RandomOrder, 1)
+	if _, err := Build(m, heap.New(m.Arena), 0, RandomOrder, 1); !errors.Is(err, cclerr.ErrInvalidArg) {
+		t.Fatalf("Build(0) err = %v, want ErrInvalidArg", err)
+	}
 }
 
 func TestDepthFirstOrderIsSequential(t *testing.T) {
 	m := machine.NewScaled(64)
 	alloc := heap.New(m.Arena)
-	tr := Build(m, alloc, 127, DepthFirstOrder, 1)
+	tr := MustBuild(m, alloc, 127, DepthFirstOrder, 1)
 	// Walking the left spine of a preorder layout must read
 	// ascending, tightly packed addresses.
 	n := tr.Root()
@@ -81,8 +82,11 @@ func TestDepthFirstOrderIsSequential(t *testing.T) {
 func TestMorphKeepsSemantics(t *testing.T) {
 	m := machine.NewScaled(64)
 	alloc := heap.New(m.Arena)
-	tr := Build(m, alloc, 1000, RandomOrder, 7)
-	st := tr.Morph(0.5, alloc.Free)
+	tr := MustBuild(m, alloc, 1000, RandomOrder, 7)
+	st, err := tr.Morph(0.5, func(a memsys.Addr) { alloc.Free(a) })
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Nodes != 1000 {
 		t.Fatalf("morphed %d nodes, want 1000", st.Nodes)
 	}
@@ -99,7 +103,7 @@ func TestMorphKeepsSemantics(t *testing.T) {
 
 func TestGreedyPrefetchSameResults(t *testing.T) {
 	m := machine.NewScaled(64)
-	tr := Build(m, heap.New(m.Arena), 300, RandomOrder, 3)
+	tr := MustBuild(m, heap.New(m.Arena), 300, RandomOrder, 3)
 	for k := uint32(1); k <= 300; k++ {
 		if !tr.SearchGreedyPrefetch(k) {
 			t.Fatalf("prefetching search missed key %d", k)
@@ -134,7 +138,7 @@ func TestFigure5Ordering(t *testing.T) {
 
 	build := func(order Order) (*BST, *machine.Machine) {
 		m := machine.NewScaled(16)
-		return Build(m, heap.New(m.Arena), n, order, 11), m
+		return MustBuild(m, heap.New(m.Arena), n, order, 11), m
 	}
 
 	random, mr := build(RandomOrder)
@@ -148,8 +152,13 @@ func TestFigure5Ordering(t *testing.T) {
 	ctreeCycles := searchCycles(ctree, n, mc, searches, 5)
 
 	mb := machine.NewScaled(16)
-	bt := NewBTree(mb, 0.5)
-	bt.BulkLoad(n, 0.67)
+	bt, err := NewBTree(mb, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.BulkLoad(n, 0.67); err != nil {
+		t.Fatal(err)
+	}
 	btreeCycles := searchCycles(bt, n, mb, searches, 5)
 
 	if !(ctreeCycles < btreeCycles && btreeCycles < randomCycles) {
@@ -182,7 +191,7 @@ func TestPrefetchStallReduction(t *testing.T) {
 		cfg := cache.ScaledHierarchy(16)
 		cfg.TLB.Entries = 0
 		m := machine.New(cfg)
-		tr := Build(m, heap.New(m.Arena), n, RandomOrder, 13)
+		tr := MustBuild(m, heap.New(m.Arena), n, RandomOrder, 13)
 		rng := rand.New(rand.NewSource(9))
 		m.ResetStats()
 		for i := 0; i < searches; i++ {

@@ -10,6 +10,7 @@ package trees
 import (
 	"fmt"
 
+	"ccl/internal/cclerr"
 	"ccl/internal/layout"
 	"ccl/internal/machine"
 	"ccl/internal/memsys"
@@ -47,6 +48,10 @@ type BTree struct {
 
 // MaxKeysFor returns the internal-node separator capacity for a
 // block size.
+//
+// Panic justification: NewBTree rejects too-small geometries with a
+// typed error before node sizing; calling this arithmetic helper
+// directly with an unusable block size is a caller bug.
 func MaxKeysFor(blockSize int64) int {
 	k := int((blockSize - 12) / 8)
 	if k < 2 {
@@ -57,6 +62,9 @@ func MaxKeysFor(blockSize int64) int {
 
 // LeafKeysFor returns the leaf record capacity for a block size: each
 // record is a key plus its 8-byte satellite value.
+//
+// Panic justification: same contract as MaxKeysFor — geometry is
+// validated by NewBTree before this helper runs.
 func LeafKeysFor(blockSize int64) int {
 	k := int((blockSize - 12) / 12)
 	if k < 2 {
@@ -68,9 +76,17 @@ func LeafKeysFor(blockSize int64) int {
 // NewBTree returns an empty B-tree whose nodes are single cache
 // blocks of the machine's last-level cache. colorFrac > 0 reserves
 // that fraction of the cache for the root-most nodes, as the paper's
-// colored in-core B-tree does.
-func NewBTree(m *machine.Machine, colorFrac float64) *BTree {
+// colored in-core B-tree does. A cache block too small to hold a
+// B-tree node fails with cclerr.ErrBadGeometry.
+func NewBTree(m *machine.Machine, colorFrac float64) (*BTree, error) {
 	geo := layout.FromLevel(m.Cache.LastLevel())
+	// A leaf needs two 12-byte records plus the 12-byte tail, so 36
+	// bytes is the smallest usable block (leaves are the binding
+	// constraint; internal nodes need only 28).
+	if geo.BlockSize < 36 {
+		return nil, cclerr.Errorf(cclerr.ErrBadGeometry,
+			"trees: block size %d too small for a B-tree", geo.BlockSize)
+	}
 	t := &BTree{
 		m:         m,
 		blockSize: geo.BlockSize,
@@ -78,16 +94,27 @@ func NewBTree(m *machine.Machine, colorFrac float64) *BTree {
 		leafCap:   LeafKeysFor(geo.BlockSize),
 	}
 	if colorFrac > 0 {
-		col := layout.NewColoring(geo, colorFrac)
-		t.hot = layout.NewSegmentAllocator(m.Arena, col, true)
-		t.cold = layout.NewSegmentAllocator(m.Arena, col, false)
+		col, err := layout.NewColoring(geo, colorFrac)
+		if err != nil {
+			return nil, err
+		}
+		if t.hot, err = layout.NewSegmentAllocator(m.Arena, col, true); err != nil {
+			return nil, err
+		}
+		if t.cold, err = layout.NewSegmentAllocator(m.Arena, col, false); err != nil {
+			return nil, err
+		}
 		t.hotLeft = col.HotSets * int64(col.Assoc)
 		t.claimedVia = func() int64 { return t.hot.Claimed() + t.cold.Claimed() }
 	} else {
-		t.bump = layout.NewBlockBump(m.Arena, geo.BlockSize)
+		bump, err := layout.NewBlockBump(m.Arena, geo.BlockSize)
+		if err != nil {
+			return nil, err
+		}
+		t.bump = bump
 		t.claimedVia = t.bump.Claimed
 	}
-	return t
+	return t, nil
 }
 
 // field offsets
@@ -122,21 +149,27 @@ func (t *BTree) rawSetChild(n memsys.Addr, i int, c memsys.Addr) {
 
 // newNode allocates a block-aligned node; hot while the colored
 // budget lasts (construction is top-down for bulk loads, so the
-// budget covers the root-most levels).
-func (t *BTree) newNode(leaf bool) memsys.Addr {
+// budget covers the root-most levels). Allocation failures propagate.
+func (t *BTree) newNode(leaf bool) (memsys.Addr, error) {
 	var a memsys.Addr
+	var err error
 	switch {
 	case t.bump != nil:
-		a = t.bump.Alloc()
+		a, err = t.bump.Alloc()
 	case t.hotLeft > 0:
-		a = t.hot.Alloc(t.blockSize)
-		t.hotLeft--
+		a, err = t.hot.Alloc(t.blockSize)
+		if err == nil {
+			t.hotLeft--
+		}
 	default:
-		a = t.cold.Alloc(t.blockSize)
+		a, err = t.cold.Alloc(t.blockSize)
+	}
+	if err != nil {
+		return memsys.NilAddr, err
 	}
 	t.m.Arena.Memset(a, 0, t.blockSize)
 	t.rawSetLeaf(a, leaf)
-	return a
+	return a, nil
 }
 
 // N returns the number of keys in the tree.
@@ -159,15 +192,15 @@ func (t *BTree) HeapBytes() int64 { return t.claimedVia() }
 // reserving space for insertions corresponds to fill < 1 (random
 // insertion order yields ~0.67 average occupancy). Top levels are
 // allocated first so coloring pins them.
-func (t *BTree) BulkLoad(n int64, fill float64) {
+func (t *BTree) BulkLoad(n int64, fill float64) error {
 	if t.n != 0 {
-		panic("trees: BulkLoad on a non-empty B-tree")
+		return cclerr.Errorf(cclerr.ErrInvalidArg, "trees: BulkLoad on a non-empty B-tree")
 	}
 	if n <= 0 {
-		panic("trees: BulkLoad needs at least one key")
+		return cclerr.Errorf(cclerr.ErrInvalidArg, "trees: BulkLoad needs at least one key")
 	}
 	if fill <= 0 || fill > 1 {
-		panic(fmt.Sprintf("trees: BulkLoad fill %v out of (0,1]", fill))
+		return cclerr.Errorf(cclerr.ErrInvalidArg, "trees: BulkLoad fill %v out of (0,1]", fill)
 	}
 	perLeaf := int(float64(t.leafCap)*fill + 0.999999)
 	if perLeaf < 1 {
@@ -249,12 +282,18 @@ func (t *BTree) BulkLoad(n int64, fill float64) {
 	}
 
 	// Allocate top-down (root level first) so the hot budget covers
-	// the root-most blocks, then write everything.
+	// the root-most blocks, then write everything. An allocation
+	// failure aborts before the root is set, leaving the tree empty
+	// and reloadable.
 	addrs := make([][]memsys.Addr, len(levels))
 	for li := len(levels) - 1; li >= 0; li-- {
 		addrs[li] = make([]memsys.Addr, len(levels[li]))
 		for i, pn := range levels[li] {
-			addrs[li][i] = t.newNode(pn.leaf)
+			a, err := t.newNode(pn.leaf)
+			if err != nil {
+				return fmt.Errorf("trees: BulkLoad: %w", err)
+			}
+			addrs[li][i] = a
 		}
 	}
 	for li, lvl := range levels {
@@ -272,6 +311,7 @@ func (t *BTree) BulkLoad(n int64, fill float64) {
 	t.root = addrs[len(levels)-1][0]
 	t.n = n
 	t.height = len(levels)
+	return nil
 }
 
 // planNode is the host-side scratch node used while planning a bulk
@@ -324,29 +364,44 @@ func (t *BTree) Search(key uint32) bool {
 }
 
 // Insert adds a key, splitting full nodes on the way down (preemptive
-// splitting). Duplicate inserts are no-ops.
-func (t *BTree) Insert(key uint32) {
+// splitting). Duplicate inserts are no-ops. A failed node allocation
+// aborts the insert with the key absent and the tree still valid
+// (splits happen top-down before the key is placed, and a completed
+// split is a correct tree shape on its own).
+func (t *BTree) Insert(key uint32) error {
 	if t.root.IsNil() {
-		t.root = t.newNode(true)
+		root, err := t.newNode(true)
+		if err != nil {
+			return err
+		}
+		t.root = root
 		t.rawSetCount(t.root, 1)
 		t.rawSetKey(t.root, 0, key)
 		t.n = 1
 		t.height = 1
-		return
+		return nil
 	}
 	if t.Search(key) {
-		return
+		return nil
 	}
 	if t.rawCount(t.root) == t.capOf(t.root) {
 		// Grow: new root with the old root as only child, then split.
-		newRoot := t.newNode(false)
+		newRoot, err := t.newNode(false)
+		if err != nil {
+			return err
+		}
 		t.rawSetChild(newRoot, 0, t.root)
-		t.splitChild(newRoot, 0)
+		if err := t.splitChild(newRoot, 0); err != nil {
+			return err
+		}
 		t.root = newRoot
 		t.height++
 	}
-	t.insertNonFull(t.root, key)
+	if err := t.insertNonFull(t.root, key); err != nil {
+		return err
+	}
 	t.n++
+	return nil
 }
 
 // capOf returns the key capacity of a node (leaves hold records,
@@ -359,11 +414,15 @@ func (t *BTree) capOf(n memsys.Addr) int {
 }
 
 // splitChild splits node's i-th child (which must be full) in two,
-// hoisting the median separator into node.
-func (t *BTree) splitChild(node memsys.Addr, i int) {
+// hoisting the median separator into node. A failed sibling
+// allocation aborts before any key moves, leaving both nodes intact.
+func (t *BTree) splitChild(node memsys.Addr, i int) error {
 	child := t.rawChild(node, i)
 	leaf := t.rawLeaf(child)
-	right := t.newNode(leaf)
+	right, err := t.newNode(leaf)
+	if err != nil {
+		return err
+	}
 
 	var sep uint32
 	if leaf {
@@ -406,10 +465,11 @@ func (t *BTree) splitChild(node memsys.Addr, i int) {
 	t.rawSetKey(node, i, sep)
 	t.rawSetChild(node, i+1, right)
 	t.rawSetCount(node, cnt+1)
+	return nil
 }
 
 // insertNonFull inserts key under node, which is guaranteed non-full.
-func (t *BTree) insertNonFull(node memsys.Addr, key uint32) {
+func (t *BTree) insertNonFull(node memsys.Addr, key uint32) error {
 	for {
 		cnt := t.rawCount(node)
 		if t.rawLeaf(node) {
@@ -420,7 +480,7 @@ func (t *BTree) insertNonFull(node memsys.Addr, key uint32) {
 			}
 			t.rawSetKey(node, i, key)
 			t.rawSetCount(node, cnt+1)
-			return
+			return nil
 		}
 		i := 0
 		for i < cnt && key >= t.rawKey(node, i) {
@@ -428,7 +488,9 @@ func (t *BTree) insertNonFull(node memsys.Addr, key uint32) {
 		}
 		child := t.rawChild(node, i)
 		if t.rawCount(child) == t.capOf(child) {
-			t.splitChild(node, i)
+			if err := t.splitChild(node, i); err != nil {
+				return err
+			}
 			if key >= t.rawKey(node, i) {
 				i++
 			}

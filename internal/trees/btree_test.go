@@ -1,13 +1,34 @@
 package trees
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
+	"ccl/internal/cclerr"
 	"ccl/internal/layout"
 	"ccl/internal/machine"
 	"ccl/internal/memsys"
 )
+
+// newBTree is the test-local fail-fast constructor: geometry here is
+// always valid, so an error is a harness bug.
+func newBTree(t *testing.T, m *machine.Machine, colorFrac float64) *BTree {
+	t.Helper()
+	bt, err := NewBTree(m, colorFrac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bt
+}
+
+// bulkLoad is the fail-fast BulkLoad wrapper for valid parameters.
+func bulkLoad(t *testing.T, bt *BTree, n int64, fill float64) {
+	t.Helper()
+	if err := bt.BulkLoad(n, fill); err != nil {
+		t.Fatal(err)
+	}
+}
 
 func TestMaxKeysFor(t *testing.T) {
 	if got := MaxKeysFor(64); got != 6 {
@@ -26,7 +47,7 @@ func TestMaxKeysFor(t *testing.T) {
 
 func TestBTreeNodeFitsBlock(t *testing.T) {
 	m := machine.NewScaled(64)
-	bt := NewBTree(m, 0)
+	bt := newBTree(t, m, 0)
 	// leaf flag is the last field; it must end within the block.
 	if bt.leafOff()+4 > bt.blockSize {
 		t.Fatalf("node layout (%d bytes) exceeds block (%d)", bt.leafOff()+4, bt.blockSize)
@@ -36,8 +57,8 @@ func TestBTreeNodeFitsBlock(t *testing.T) {
 func TestBulkLoadSearchable(t *testing.T) {
 	for _, n := range []int64{1, 2, 4, 5, 31, 100, 1000, 4097} {
 		m := machine.NewScaled(64)
-		bt := NewBTree(m, 0)
-		bt.BulkLoad(n, 0.67)
+		bt := newBTree(t, m, 0)
+		bulkLoad(t, bt, n, 0.67)
 		if bt.N() != n {
 			t.Fatalf("n=%d: N() = %d", n, bt.N())
 		}
@@ -58,12 +79,12 @@ func TestBulkLoadSearchable(t *testing.T) {
 func TestBulkLoadFillAffectsFootprintAndHeight(t *testing.T) {
 	const n = 4096
 	mFull := machine.NewScaled(64)
-	full := NewBTree(mFull, 0)
-	full.BulkLoad(n, 1.0)
+	full := newBTree(t, mFull, 0)
+	bulkLoad(t, full, n, 1.0)
 
 	mSlack := machine.NewScaled(64)
-	slack := NewBTree(mSlack, 0)
-	slack.BulkLoad(n, 0.6)
+	slack := newBTree(t, mSlack, 0)
+	bulkLoad(t, slack, n, 0.6)
 
 	if slack.HeapBytes() <= full.HeapBytes() {
 		t.Errorf("fill 0.6 (%d bytes) should use more space than fill 1.0 (%d)",
@@ -76,34 +97,28 @@ func TestBulkLoadFillAffectsFootprintAndHeight(t *testing.T) {
 
 func TestBulkLoadValidation(t *testing.T) {
 	m := machine.NewScaled(64)
-	bt := NewBTree(m, 0)
-	for _, f := range []func(){
-		func() { bt.BulkLoad(0, 0.5) },
-		func() { bt.BulkLoad(10, 0) },
-		func() { bt.BulkLoad(10, 1.5) },
+	bt := newBTree(t, m, 0)
+	for _, f := range []func() error{
+		func() error { return bt.BulkLoad(0, 0.5) },
+		func() error { return bt.BulkLoad(10, 0) },
+		func() error { return bt.BulkLoad(10, 1.5) },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("invalid BulkLoad did not panic")
-				}
-			}()
-			f()
-		}()
-	}
-	bt.BulkLoad(10, 0.5)
-	defer func() {
-		if recover() == nil {
-			t.Error("double BulkLoad did not panic")
+		if err := f(); !errors.Is(err, cclerr.ErrInvalidArg) {
+			t.Errorf("invalid BulkLoad err = %v, want ErrInvalidArg", err)
 		}
-	}()
-	bt.BulkLoad(10, 0.5)
+	}
+	bulkLoad(t, bt, 10, 0.5)
+	if err := bt.BulkLoad(10, 0.5); !errors.Is(err, cclerr.ErrInvalidArg) {
+		t.Errorf("double BulkLoad err = %v, want ErrInvalidArg", err)
+	}
 }
 
 func TestInsertIntoEmpty(t *testing.T) {
 	m := machine.NewScaled(64)
-	bt := NewBTree(m, 0)
-	bt.Insert(42)
+	bt := newBTree(t, m, 0)
+	if err := bt.Insert(42); err != nil {
+		t.Fatal(err)
+	}
 	if !bt.Search(42) || bt.N() != 1 || bt.Height() != 1 {
 		t.Fatalf("single insert broken: n=%d h=%d", bt.N(), bt.Height())
 	}
@@ -115,11 +130,13 @@ func TestInsertIntoEmpty(t *testing.T) {
 
 func TestInsertRandomOrder(t *testing.T) {
 	m := machine.NewScaled(64)
-	bt := NewBTree(m, 0)
+	bt := newBTree(t, m, 0)
 	rng := rand.New(rand.NewSource(3))
 	keys := rng.Perm(2000)
 	for _, k := range keys {
-		bt.Insert(uint32(k + 1))
+		if err := bt.Insert(uint32(k + 1)); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if bt.N() != 2000 {
 		t.Fatalf("N = %d, want 2000", bt.N())
@@ -139,12 +156,14 @@ func TestInsertRandomOrder(t *testing.T) {
 
 func TestInsertAfterBulkLoad(t *testing.T) {
 	m := machine.NewScaled(64)
-	bt := NewBTree(m, 0)
-	bt.BulkLoad(1000, 0.67)
+	bt := newBTree(t, m, 0)
+	bulkLoad(t, bt, 1000, 0.67)
 	// Insert keys beyond the loaded range; the slack must absorb
 	// some without splitting everywhere.
 	for k := uint32(1001); k <= 1200; k++ {
-		bt.Insert(k)
+		if err := bt.Insert(k); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if err := bt.CheckInvariants(); err != nil {
 		t.Fatal(err)
@@ -158,9 +177,12 @@ func TestInsertAfterBulkLoad(t *testing.T) {
 
 func TestColoredBTreeRootIsHot(t *testing.T) {
 	m := machine.NewScaled(16)
-	bt := NewBTree(m, 0.5)
-	bt.BulkLoad(1<<14, 0.67)
-	col := layout.NewColoring(layout.FromLevel(m.Cache.LastLevel()), 0.5)
+	bt := newBTree(t, m, 0.5)
+	bulkLoad(t, bt, 1<<14, 0.67)
+	col, err := layout.NewColoring(layout.FromLevel(m.Cache.LastLevel()), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !col.IsHot(bt.root) {
 		t.Fatalf("root %v (set %d) not hot", bt.root, col.SetOf(bt.root))
 	}
@@ -171,8 +193,8 @@ func TestColoredBTreeRootIsHot(t *testing.T) {
 
 func TestBTreeNodesBlockAligned(t *testing.T) {
 	m := machine.NewScaled(64)
-	bt := NewBTree(m, 0.5)
-	bt.BulkLoad(500, 0.67)
+	bt := newBTree(t, m, 0.5)
+	bulkLoad(t, bt, 500, 0.67)
 	seen := 0
 	var dfs func(a memsys.Addr)
 	dfs = func(a memsys.Addr) {

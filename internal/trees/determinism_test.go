@@ -15,7 +15,7 @@ import (
 func TestSeedDeterminism(t *testing.T) {
 	run := func(order Order) (machineStats any, hits int) {
 		m := machine.NewScaled(16)
-		tr := Build(m, heap.New(m.Arena), 400, order, 42)
+		tr := MustBuild(m, heap.New(m.Arena), 400, order, 42)
 		for k := uint32(0); k < 800; k++ {
 			if tr.Search(k) {
 				hits++

@@ -48,12 +48,18 @@ func inOrderKeys(m *machine.Machine, root memsys.Addr) []uint32 {
 func checkMorphCase(c morphCase) error {
 	m := machine.NewScaled(64)
 	alloc := heap.New(m.Arena)
-	tr := Build(m, alloc, c.N, c.Order, c.Seed)
+	tr, err := Build(m, alloc, c.N, c.Order, c.Seed)
+	if err != nil {
+		return fmt.Errorf("%v: Build: %w", c, err)
+	}
 	before := inOrderKeys(m, tr.Root())
 	if int64(len(before)) != c.N {
 		return fmt.Errorf("%v: built %d keys, want %d", c, len(before), c.N)
 	}
-	st := tr.Morph(c.ColorFrac, alloc.Free)
+	st, err := tr.Morph(c.ColorFrac, func(a memsys.Addr) { alloc.Free(a) })
+	if err != nil {
+		return fmt.Errorf("%v: Morph: %w", c, err)
+	}
 	if st.Nodes != c.N {
 		return fmt.Errorf("%v: morph visited %d nodes, want %d", c, st.Nodes, c.N)
 	}
