@@ -39,6 +39,7 @@ import (
 	"ccl/internal/machine"
 	"ccl/internal/memsys"
 	"ccl/internal/model"
+	"ccl/internal/sim"
 	"ccl/internal/telemetry"
 	"ccl/internal/trees"
 )
@@ -84,6 +85,15 @@ func PaperCache() CacheConfig { return cache.PaperHierarchy() }
 
 // RSIMCache returns the Table 1 simulation hierarchy.
 func RSIMCache() CacheConfig { return cache.RSIMHierarchy() }
+
+// Sim is a per-run simulation context: machines built through one
+// share its grow guard and telemetry registry, and two Sims share no
+// mutable state at all — the unit of isolation for running
+// simulations concurrently (one goroutine per Sim; see DESIGN.md §8).
+type Sim = sim.Sim
+
+// NewSim returns a fresh run context.
+func NewSim() *Sim { return sim.New() }
 
 // Allocators.
 type (

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	ccbench [-full] [-list] [-json path] [-fault point[:n]] [experiment ...]
+//	ccbench [-full] [-list] [-json path] [-parallel n] [-fault point[:n]] [experiment ...]
 //
 // Run ccbench -list for the available experiment ids; "all" (the
 // default) runs every experiment in paper order. -full runs
@@ -12,12 +12,24 @@
 // "Telemetry"), the format committed BENCH_*.json files use. Flags
 // may appear before or after experiment ids.
 //
+// -parallel bounds the worker pool the experiments' jobs run on; the
+// default is GOMAXPROCS and -parallel 1 is the serial reference run.
+// Every job builds its workloads from fixed seeds inside its own run
+// context (internal/sim), so the tables — and the -json report, apart
+// from its wall-time fields — are identical at any parallelism.
+// Progress lines go to stderr as experiments finish; completed tables
+// stream to stdout in paper order.
+//
 // -fault injects a deterministic failure (see internal/faults):
-// "arena-grow:3" fails the 3rd simulated-memory growth anywhere in the
-// run. Experiments that hit the fault are recorded as structured
-// failure entries in the JSON report — the run itself still exits 0,
-// because a sweep that measures robustness must outlive the failures
-// it provokes. Ctrl-C interrupts gracefully: completed experiments are
+// "arena-grow:3" fails the 3rd simulated-memory growth. The injector
+// is armed afresh on each job's run context, so the fault fires at
+// the Nth growth within every job, deterministically at any
+// -parallel setting (unlike a process-wide counter, which would make
+// the victim depend on scheduling). Jobs that hit the fault are
+// recorded as structured failure entries in the JSON report — the run
+// itself still exits 0, because a sweep that measures robustness must
+// outlive the failures it provokes. Ctrl-C interrupts gracefully: no
+// new jobs start, running jobs drain, and completed experiments are
 // flushed to the -json report with its "interrupted" marker set.
 package main
 
@@ -33,35 +45,8 @@ import (
 
 	"ccl/internal/bench"
 	"ccl/internal/faults"
+	"ccl/internal/sim"
 )
-
-// experiment couples a runner with the one-line description -list
-// prints.
-type experiment struct {
-	run  func(ctx context.Context, full bool) bench.Table
-	desc string
-}
-
-var experiments = map[string]experiment{
-	"table1":          {func(context.Context, bool) bench.Table { return bench.Table1() }, "RSIM simulation parameters (paper Table 1)"},
-	"fig5":            {bench.Fig5, "tree microbenchmark: avg cycles/search for four layouts (paper Fig. 5)"},
-	"fig6":            {bench.Fig6, "RADIANCE and VIS macrobenchmarks, normalized time (paper Fig. 6)"},
-	"table2":          {bench.Table2, "Olden benchmark characteristics (paper Table 2)"},
-	"fig7":            {bench.Fig7, "Olden suite under eight placement schemes, cycle breakdown (paper Fig. 7)"},
-	"table3":          {func(context.Context, bool) bench.Table { return bench.Table3() }, "qualitative technique trade-off summary (paper Table 3)"},
-	"control":         {bench.Control, "ccmalloc null-hint control experiment (§4.4)"},
-	"memovh":          {bench.MemOvh, "heap footprint by allocation strategy (§4.4)"},
-	"fig10":           {bench.Fig10, "predicted vs measured C-tree speedup across tree sizes (paper Fig. 10)"},
-	"metrics":         {bench.Metrics, "telemetry: 3C miss classes, per-structure attribution, set heatmaps"},
-	"ablate-color":    {bench.AblationColorFrac, "Color_const sweep: C-tree speedup vs colored cache fraction"},
-	"ablate-block":    {bench.AblationBlockSize, "block-size sweep vs the model's K = log2(k+1)"},
-	"ablate-interval": {bench.AblationMorphInterval, "health: ccmorph reorganization interval sweep"},
-}
-
-var order = []string{
-	"table1", "fig5", "fig6", "table2", "fig7", "table3", "control",
-	"memovh", "fig10", "metrics", "ablate-color", "ablate-block", "ablate-interval",
-}
 
 // reorderArgs moves flags (and the value of flags that take one) in
 // front of positional arguments, so `ccbench table1 -json out.json`
@@ -69,7 +54,11 @@ var order = []string{
 // A value flag with nothing after it is an error — without the check,
 // reordering would hand the flag a positional as its value.
 func reorderArgs(args []string) ([]string, error) {
-	valueFlags := map[string]bool{"-json": true, "--json": true, "-fault": true, "--fault": true}
+	valueFlags := map[string]bool{
+		"-json": true, "--json": true,
+		"-fault": true, "--fault": true,
+		"-parallel": true, "--parallel": true,
+	}
 	var flags, pos []string
 	for i := 0; i < len(args); i++ {
 		a := args[i]
@@ -89,28 +78,27 @@ func reorderArgs(args []string) ([]string, error) {
 	return append(flags, pos...), nil
 }
 
-// armFault parses "point[:n]" and arms the process-wide injection it
-// names. Only arena-grow has a process-wide seam (the default grow
-// guard every new arena inherits); the other points are armed per
+// parseFault parses "point[:n]" and validates the injection point.
+// Only arena-grow has a run-context seam (the grow guard every arena
+// adopted by a sim.Sim consults); the other points are armed per
 // structure and exist for tests.
-func armFault(spec string) error {
+func parseFault(spec string) (faults.Point, int64, error) {
 	point, nstr, hasN := strings.Cut(spec, ":")
 	n := int64(1)
 	if hasN {
 		v, err := strconv.ParseInt(nstr, 10, 64)
 		if err != nil || v < 1 {
-			return fmt.Errorf("bad occurrence %q in -fault %s (want a positive integer)", nstr, spec)
+			return "", 0, fmt.Errorf("bad occurrence %q in -fault %s (want a positive integer)", nstr, spec)
 		}
 		n = v
 	}
 	switch faults.Point(point) {
 	case faults.ArenaGrow:
-		faults.NewInjector().FailNth(faults.ArenaGrow, n).ArmDefaultGrowGuard()
-		return nil
+		return faults.ArenaGrow, n, nil
 	case faults.AllocBudget, faults.PlaceCluster, faults.TraceRecord:
-		return fmt.Errorf("-fault %s: point %q has no process-wide seam (test-only)", spec, point)
+		return "", 0, fmt.Errorf("-fault %s: point %q has no run-context seam (test-only)", spec, point)
 	default:
-		return fmt.Errorf("-fault %s: unknown point %q (available: %v)", spec, point, faults.Points())
+		return "", 0, fmt.Errorf("-fault %s: unknown point %q (available: %v)", spec, point, faults.Points())
 	}
 }
 
@@ -119,8 +107,9 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	jsonPath := flag.String("json", "", "also write the results as a JSON report to `path`")
 	fault := flag.String("fault", "", "inject a fault at `point[:n]` (e.g. arena-grow:3); failures are recorded, not fatal")
+	parallel := flag.Int("parallel", 0, "worker pool size; 0 means GOMAXPROCS, 1 is strictly serial")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ccbench [-full] [-list] [-json path] [-fault point[:n]] [experiment ...]\navailable: all %v\n", order)
+		fmt.Fprintf(os.Stderr, "usage: ccbench [-full] [-list] [-json path] [-parallel n] [-fault point[:n]] [experiment ...]\navailable: all %v\n", bench.IDs())
 	}
 	args, err := reorderArgs(os.Args[1:])
 	if err != nil {
@@ -133,18 +122,24 @@ func main() {
 	}
 
 	if *list {
-		for _, id := range order {
-			fmt.Printf("%-16s %s\n", id, experiments[id].desc)
+		for _, sp := range bench.Registry() {
+			fmt.Printf("%-16s %s\n", sp.ID, sp.Desc)
 		}
 		return
 	}
 
+	newSim := sim.New
 	if *fault != "" {
-		if err := armFault(*fault); err != nil {
+		point, n, err := parseFault(*fault)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
 			os.Exit(2)
 		}
-		defer faults.DisarmDefaultGrowGuard()
+		newSim = func() *sim.Sim {
+			s := sim.New()
+			faults.NewInjector().FailNth(point, n).ArmSim(s)
+			return s
+		}
 	}
 
 	ids := flag.Args()
@@ -152,44 +147,58 @@ func main() {
 		ids = []string{"all"}
 	}
 
-	var run []string
+	var specs []bench.Spec
 	for _, id := range ids {
 		if id == "all" {
-			run = append(run, order...)
+			specs = append(specs, bench.Registry()...)
 			continue
 		}
-		if _, ok := experiments[id]; !ok {
-			fmt.Fprintf(os.Stderr, "ccbench: unknown experiment %q\navailable: all %v\n(run ccbench -list for descriptions)\n", id, order)
+		sp, ok := bench.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ccbench: unknown experiment %q\navailable: all %v\n(run ccbench -list for descriptions)\n", id, bench.IDs())
 			os.Exit(2)
 		}
-		run = append(run, id)
+		specs = append(specs, sp)
 	}
 
-	// SIGINT cancels the context; experiments poll it between units of
-	// work and return partial tables, and the loop below stops issuing
-	// new experiments, so a Ctrl-C still flushes the -json report.
+	// SIGINT cancels the context; the pool stops issuing new jobs,
+	// running jobs drain, and the partial report — every experiment
+	// that completed, partial tables marked interrupted — still
+	// flushes to -json.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	rep := bench.Report{Schema: bench.ReportSchema, Full: *full}
-	for _, id := range run {
-		if ctx.Err() != nil {
-			rep.Interrupted = true
-			break
+	rep := bench.Run(ctx, specs, bench.Options{
+		Full:     *full,
+		Parallel: *parallel,
+		NewSim:   newSim,
+		OnProgress: func(p bench.Progress) {
+			if p.Skipped == p.Jobs {
+				fmt.Fprintf(os.Stderr, "ccbench: [%d/%d] %s skipped (interrupted)\n", p.Done, p.Total, p.ID)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "ccbench: [%d/%d] %s done (%d job(s), %v)",
+				p.Done, p.Total, p.ID, p.Jobs, p.Wall.Round(time.Millisecond))
+			if p.Failed > 0 {
+				fmt.Fprintf(os.Stderr, ", %d failed", p.Failed)
+			}
+			if p.Skipped > 0 {
+				fmt.Fprintf(os.Stderr, ", %d skipped", p.Skipped)
+			}
+			fmt.Fprintln(os.Stderr)
+		},
+		OnTable: func(t bench.Table, wall time.Duration) {
+			t.Render(os.Stdout)
+			fmt.Printf("  (%s in %v)\n\n", t.ID, wall.Round(time.Millisecond))
+		},
+	})
+
+	for _, f := range rep.Failures {
+		where := f.Experiment
+		if f.Job != "" {
+			where = f.Job
 		}
-		start := time.Now()
-		t, fail := bench.RunExperiment(ctx, id, experiments[id].run, *full)
-		if fail != nil {
-			rep.Failures = append(rep.Failures, *fail)
-			fmt.Fprintf(os.Stderr, "ccbench: %s failed (%s): %s\n", id, fail.Class, fail.Error)
-			continue
-		}
-		rep.Experiments = append(rep.Experiments, t)
-		t.Render(os.Stdout)
-		fmt.Printf("  (%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
-	}
-	if ctx.Err() != nil {
-		rep.Interrupted = true
+		fmt.Fprintf(os.Stderr, "ccbench: %s failed (%s): %s\n", where, f.Class, f.Error)
 	}
 
 	if *jsonPath != "" {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"ccl/internal/sim"
 	"ccl/internal/telemetry"
 )
 
@@ -124,7 +125,7 @@ func TestOldenRunUnknownPanics(t *testing.T) {
 			t.Fatal("unknown benchmark did not panic")
 		}
 	}()
-	oldenRun("nonesuch", 0, false)
+	oldenRun(sim.New(), "nonesuch", 0, false)
 }
 
 func TestRenderRaggedRows(t *testing.T) {

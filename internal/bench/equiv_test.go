@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestSerialParallelEquivalence is the determinism acceptance test:
+// the same experiments run strictly serially (-parallel 1) and on a
+// saturated pool produce byte-identical ccl-bench JSON, wall-time
+// fields aside. Every job builds its workloads from fixed seeds
+// inside its own run context, so scheduling must not be observable.
+func TestSerialParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+	// A cross-section of the registry: static tables, Olden runs,
+	// normalization against a sibling job's baseline, and the oracle
+	// sweep's wide fan-out.
+	var specs []Spec
+	for _, id := range []string{"table1", "table2", "table3", "control", "oracle"} {
+		sp, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		specs = append(specs, sp)
+	}
+
+	render := func(parallel int) string {
+		rep := Run(context.Background(), specs, Options{Parallel: parallel})
+		if rep.Interrupted || len(rep.Failures) != 0 {
+			t.Fatalf("parallel=%d: interrupted=%v failures=%+v", parallel, rep.Interrupted, rep.Failures)
+		}
+		var sb strings.Builder
+		if err := WriteReport(&sb, StripTimings(rep)); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		a, b := serial, parallel
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				lo := i - 120
+				if lo < 0 {
+					lo = 0
+				}
+				t.Fatalf("serial and parallel reports diverge at byte %d:\nserial:   ...%s\nparallel: ...%s",
+					i, a[lo:min(i+120, len(a))], b[lo:min(i+120, len(b))])
+			}
+		}
+		t.Fatalf("reports differ in length: serial %d bytes, parallel %d bytes", len(serial), len(parallel))
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"ccl/internal/olden/mst"
 	"ccl/internal/olden/perimeter"
 	"ccl/internal/olden/treeadd"
+	"ccl/internal/sim"
 	"ccl/internal/trees"
 )
 
@@ -50,27 +51,20 @@ func Table1() Table {
 	}
 }
 
+func table1Spec() Spec {
+	return singleTableSpec("table1", "RSIM simulation parameters (paper Table 1)",
+		func(context.Context, *sim.Sim, bool) Table { return Table1() })
+}
+
 // fig5Config bundles one microbenchmark series.
 type fig5Config struct {
 	name  string
 	build func(m *machine.Machine, n int64) func(uint32) bool
 }
 
-// Fig5 regenerates the tree microbenchmark (paper Figure 5): average
-// search cycles per lookup as the number of repeated random searches
-// grows, for the four tree configurations. full selects paper-scale
-// sizes.
-func Fig5(ctx context.Context, full bool) Table {
-	nodes := int64(1<<17 - 1)
-	checkpoints := []int{10, 100, 1000, 10000, 100000}
-	scale := int64(Scale)
-	if full {
-		nodes = 1<<21 - 1 // the paper's 2,097,151 keys
-		checkpoints = append(checkpoints, 1000000)
-		scale = 1
-	}
-
-	configs := []fig5Config{
+// fig5Configs lists the four tree configurations of Figure 5.
+func fig5Configs() []fig5Config {
+	return []fig5Config{
 		{"random-clustered binary tree", func(m *machine.Machine, n int64) func(uint32) bool {
 			t := trees.MustBuild(m, heap.New(m.Arena), n, trees.RandomOrder, 11)
 			return t.Search
@@ -91,94 +85,181 @@ func Fig5(ctx context.Context, full bool) Table {
 			return t.Search
 		}},
 	}
-
-	tab := Table{
-		ID:     "fig5",
-		Title:  fmt.Sprintf("Binary tree microbenchmark, %d keys (avg cycles/search)", nodes),
-		Header: []string{"Configuration"},
-	}
-	for _, c := range checkpoints {
-		tab.Header = append(tab.Header, fmt.Sprintf("%d", c))
-	}
-
-	for _, cfg := range configs {
-		if ctx.Err() != nil {
-			return interrupted(tab)
-		}
-		m := machine.NewScaled(scale)
-		search := cfg.build(m, nodes)
-		m.Cache.Flush()
-		m.ResetStats()
-		rng := rand.New(rand.NewSource(5))
-		row := []string{cfg.name}
-		done := 0
-		for _, c := range checkpoints {
-			for ; done < c; done++ {
-				search(uint32(rng.Int63n(nodes)) + 1)
-			}
-			row = append(row, f1(float64(m.Stats().TotalCycles())/float64(done)))
-		}
-		tab.Rows = append(tab.Rows, row)
-	}
-	tab.Notes = append(tab.Notes,
-		"paper: C-tree beats random by 4-5x, depth-first by 2.5-3x, B-tree by ~1.5x at 1M searches")
-	return tab
 }
 
-// Fig6 regenerates the macrobenchmark comparison (paper Figure 6):
-// RADIANCE under base/clustering/clustering+coloring and VIS under
-// base/ccmalloc-new-block, normalized to base.
-func Fig6(ctx context.Context, full bool) Table {
-	radCfg := radiance.DefaultConfig()
-	visCfg := vis.DefaultConfig()
+// fig5Params holds the workload sizing shared by Fig5's jobs and
+// assembly.
+type fig5Params struct {
+	nodes       int64
+	checkpoints []int
+	scale       int64
+}
+
+func fig5ParamsFor(full bool) fig5Params {
+	p := fig5Params{
+		nodes:       1<<17 - 1,
+		checkpoints: []int{10, 100, 1000, 10000, 100000},
+		scale:       Scale,
+	}
 	if full {
-		radCfg = radiance.PaperConfig()
-		visCfg = vis.PaperConfig()
+		p.nodes = 1<<21 - 1 // the paper's 2,097,151 keys
+		p.checkpoints = append(p.checkpoints, 1000000)
+		p.scale = 1
 	}
-
-	tab := Table{
-		ID:     "fig6",
-		Title:  "RADIANCE and VIS applications (normalized execution time)",
-		Header: []string{"Application / configuration", "cycles", "normalized"},
-	}
-	var radBase int64
-	for _, mode := range []radiance.Mode{radiance.Base, radiance.Cluster, radiance.ClusterColor} {
-		if ctx.Err() != nil {
-			return interrupted(tab)
-		}
-		r := radiance.Run(machine.NewScaled(Scale), mode, radCfg)
-		if mode == radiance.Base {
-			radBase = r.Cycles()
-		}
-		tab.Rows = append(tab.Rows, []string{
-			"RADIANCE " + mode.String(),
-			fmt.Sprintf("%d", r.Cycles()),
-			pct(100 * float64(r.Cycles()) / float64(radBase)),
-		})
-	}
-	var visBase int64
-	for _, mode := range []vis.Mode{vis.Base, vis.CCMalloc} {
-		if ctx.Err() != nil {
-			return interrupted(tab)
-		}
-		r := vis.Run(machine.NewPaper(), mode, visCfg)
-		if mode == vis.Base {
-			visBase = r.Cycles()
-		}
-		tab.Rows = append(tab.Rows, []string{
-			"VIS " + mode.String(),
-			fmt.Sprintf("%d", r.Cycles()),
-			pct(100 * float64(r.Cycles()) / float64(visBase)),
-		})
-	}
-	tab.Notes = append(tab.Notes,
-		"paper: RADIANCE 42% speedup (70.4% normalized), VIS 27% speedup (78.7% normalized)")
-	return tab
+	return p
 }
 
-// oldenRun dispatches one benchmark/variant pair.
-func oldenRun(bench string, v olden.Variant, full bool) olden.Result {
-	return runInEnv(bench, olden.NewEnv(v, OldenScale), full)
+// fig5Row measures one tree configuration: average search cycles per
+// lookup at each checkpoint, on a machine private to this job.
+func fig5Row(s *sim.Sim, cfg fig5Config, p fig5Params) []string {
+	m := s.NewScaled(p.scale)
+	search := cfg.build(m, p.nodes)
+	m.Cache.Flush()
+	m.ResetStats()
+	rng := rand.New(rand.NewSource(5))
+	row := []string{cfg.name}
+	done := 0
+	for _, c := range p.checkpoints {
+		for ; done < c; done++ {
+			search(uint32(rng.Int63n(p.nodes)) + 1)
+		}
+		row = append(row, f1(float64(m.Stats().TotalCycles())/float64(done)))
+	}
+	return row
+}
+
+// fig5Spec regenerates the tree microbenchmark (paper Figure 5) as
+// one job per tree configuration.
+func fig5Spec() Spec {
+	return Spec{
+		ID:   "fig5",
+		Desc: "tree microbenchmark: avg cycles/search for four layouts (paper Fig. 5)",
+		Jobs: func(full bool) []Job {
+			p := fig5ParamsFor(full)
+			var js []Job
+			for _, cfg := range fig5Configs() {
+				cfg := cfg
+				js = append(js, Job{
+					Name: "fig5/" + cfg.name,
+					Run: func(ctx context.Context, s *sim.Sim, full bool) (any, error) {
+						return fig5Row(s, cfg, p), nil
+					},
+				})
+			}
+			return js
+		},
+		Assemble: func(full bool, out []any) Table {
+			p := fig5ParamsFor(full)
+			tab := Table{
+				ID:     "fig5",
+				Title:  fmt.Sprintf("Binary tree microbenchmark, %d keys (avg cycles/search)", p.nodes),
+				Header: []string{"Configuration"},
+			}
+			for _, c := range p.checkpoints {
+				tab.Header = append(tab.Header, fmt.Sprintf("%d", c))
+			}
+			for _, v := range out {
+				if row, ok := v.([]string); ok {
+					tab.Rows = append(tab.Rows, row)
+				}
+			}
+			tab.Notes = append(tab.Notes,
+				"paper: C-tree beats random by 4-5x, depth-first by 2.5-3x, B-tree by ~1.5x at 1M searches")
+			return tab
+		},
+	}
+}
+
+// Fig5 regenerates the tree microbenchmark serially; see fig5Spec.
+func Fig5(ctx context.Context, full bool) Table { return runSpec(ctx, "fig5", full) }
+
+// fig6Spec regenerates the macrobenchmark comparison (paper Figure
+// 6) as one job per application mode; normalization to each
+// application's base happens at assembly.
+func fig6Spec() Spec {
+	radModes := []radiance.Mode{radiance.Base, radiance.Cluster, radiance.ClusterColor}
+	visModes := []vis.Mode{vis.Base, vis.CCMalloc}
+	return Spec{
+		ID:   "fig6",
+		Desc: "RADIANCE and VIS macrobenchmarks, normalized time (paper Fig. 6)",
+		Jobs: func(full bool) []Job {
+			var js []Job
+			for _, mode := range radModes {
+				mode := mode
+				js = append(js, Job{
+					Name: "fig6/radiance-" + mode.String(),
+					Run: func(ctx context.Context, s *sim.Sim, full bool) (any, error) {
+						cfg := radiance.DefaultConfig()
+						if full {
+							cfg = radiance.PaperConfig()
+						}
+						return radiance.Run(s.NewScaled(Scale), mode, cfg).Cycles(), nil
+					},
+				})
+			}
+			for _, mode := range visModes {
+				mode := mode
+				js = append(js, Job{
+					Name: "fig6/vis-" + mode.String(),
+					Run: func(ctx context.Context, s *sim.Sim, full bool) (any, error) {
+						cfg := vis.DefaultConfig()
+						if full {
+							cfg = vis.PaperConfig()
+						}
+						return vis.Run(s.NewPaper(), mode, cfg).Cycles(), nil
+					},
+				})
+			}
+			return js
+		},
+		Assemble: func(full bool, out []any) Table {
+			tab := Table{
+				ID:     "fig6",
+				Title:  "RADIANCE and VIS applications (normalized execution time)",
+				Header: []string{"Application / configuration", "cycles", "normalized"},
+			}
+			app := func(prefix string, labels []string, vals []any) {
+				base, ok := vals[0].(int64) // mode order puts base first
+				if !ok {
+					return // no baseline to normalize against
+				}
+				for i, v := range vals {
+					c, ok := v.(int64)
+					if !ok {
+						continue
+					}
+					tab.Rows = append(tab.Rows, []string{
+						prefix + " " + labels[i],
+						fmt.Sprintf("%d", c),
+						pct(100 * float64(c) / float64(base)),
+					})
+				}
+			}
+			radLabels := make([]string, len(radModes))
+			for i, m := range radModes {
+				radLabels[i] = m.String()
+			}
+			visLabels := make([]string, len(visModes))
+			for i, m := range visModes {
+				visLabels[i] = m.String()
+			}
+			app("RADIANCE", radLabels, out[:len(radModes)])
+			app("VIS", visLabels, out[len(radModes):])
+			tab.Notes = append(tab.Notes,
+				"paper: RADIANCE 42% speedup (70.4% normalized), VIS 27% speedup (78.7% normalized)")
+			return tab
+		},
+	}
+}
+
+// Fig6 regenerates the macrobenchmark comparison serially; see
+// fig6Spec.
+func Fig6(ctx context.Context, full bool) Table { return runSpec(ctx, "fig6", full) }
+
+// oldenRun dispatches one benchmark/variant pair in the given run
+// context.
+func oldenRun(s *sim.Sim, bench string, v olden.Variant, full bool) olden.Result {
+	return runInEnv(bench, olden.NewEnvIn(s, v, OldenScale), full)
 }
 
 // runInEnv runs a named benchmark in a prepared environment.
@@ -212,76 +293,118 @@ func runInEnv(bench string, env olden.Env, full bool) olden.Result {
 	panic("bench: unknown benchmark " + bench)
 }
 
+// oldenJob wraps one benchmark/variant cell as a pool job returning
+// olden.Result.
+func oldenJob(name, bench string, v olden.Variant) Job {
+	return Job{Name: name, Run: func(ctx context.Context, s *sim.Sim, full bool) (any, error) {
+		return oldenRun(s, bench, v, full), nil
+	}}
+}
+
 // OldenBenchmarks lists the Figure 7 benchmarks in paper order.
 var OldenBenchmarks = []string{"treeadd", "health", "mst", "perimeter"}
 
-// Table2 regenerates the benchmark characteristics (paper Table 2),
-// with the memory-allocated column measured from the base runs.
-func Table2(ctx context.Context, full bool) Table {
-	desc := map[string][2]string{
-		"treeadd":   {"Sums the values stored in tree nodes", "binary tree"},
-		"health":    {"Simulation of Columbian health care system", "doubly linked lists"},
-		"mst":       {"Computes minimum spanning tree of a graph", "array of singly linked lists"},
-		"perimeter": {"Computes perimeter of regions in images", "quadtree"},
+// table2Spec regenerates the benchmark characteristics (paper Table
+// 2) as one base-run job per benchmark, with the memory-allocated
+// column measured from those runs.
+func table2Spec() Spec {
+	return Spec{
+		ID:   "table2",
+		Desc: "Olden benchmark characteristics (paper Table 2)",
+		Jobs: func(full bool) []Job {
+			var js []Job
+			for _, b := range OldenBenchmarks {
+				js = append(js, oldenJob("table2/"+b, b, olden.Base))
+			}
+			return js
+		},
+		Assemble: func(full bool, out []any) Table {
+			desc := map[string][2]string{
+				"treeadd":   {"Sums the values stored in tree nodes", "binary tree"},
+				"health":    {"Simulation of Columbian health care system", "doubly linked lists"},
+				"mst":       {"Computes minimum spanning tree of a graph", "array of singly linked lists"},
+				"perimeter": {"Computes perimeter of regions in images", "quadtree"},
+			}
+			input := map[string]string{
+				"treeadd":   fmt.Sprintf("%d nodes", treeadd.DefaultConfig().Nodes()),
+				"health":    fmt.Sprintf("%d villages, %d steps", health.DefaultConfig().Villages(), health.DefaultConfig().Steps),
+				"mst":       fmt.Sprintf("%d nodes", mst.DefaultConfig().NumVert),
+				"perimeter": fmt.Sprintf("%dx%d image", perimeter.DefaultConfig().ImageSize, perimeter.DefaultConfig().ImageSize),
+			}
+			tab := Table{
+				ID:     "table2",
+				Title:  "Benchmark characteristics (cf. paper Table 2)",
+				Header: []string{"Name", "Description", "Main structure", "Input", "Memory"},
+			}
+			for i, b := range OldenBenchmarks {
+				r, ok := out[i].(olden.Result)
+				if !ok {
+					continue
+				}
+				d := desc[b]
+				tab.Rows = append(tab.Rows, []string{b, d[0], d[1], input[b], kb(r.HeapBytes)})
+			}
+			return tab
+		},
 	}
-	input := map[string]string{
-		"treeadd":   fmt.Sprintf("%d nodes", treeadd.DefaultConfig().Nodes()),
-		"health":    fmt.Sprintf("%d villages, %d steps", health.DefaultConfig().Villages(), health.DefaultConfig().Steps),
-		"mst":       fmt.Sprintf("%d nodes", mst.DefaultConfig().NumVert),
-		"perimeter": fmt.Sprintf("%dx%d image", perimeter.DefaultConfig().ImageSize, perimeter.DefaultConfig().ImageSize),
-	}
-	tab := Table{
-		ID:     "table2",
-		Title:  "Benchmark characteristics (cf. paper Table 2)",
-		Header: []string{"Name", "Description", "Main structure", "Input", "Memory"},
-	}
-	for _, b := range OldenBenchmarks {
-		if ctx.Err() != nil {
-			return interrupted(tab)
-		}
-		r := oldenRun(b, olden.Base, full)
-		d := desc[b]
-		tab.Rows = append(tab.Rows, []string{b, d[0], d[1], input[b], kb(r.HeapBytes)})
-	}
-	return tab
 }
 
-// Fig7 regenerates the Olden comparison (paper Figure 7): normalized
-// execution time for the eight schemes, with the busy/load/store
-// breakdown the paper's stacked bars show.
-func Fig7(ctx context.Context, full bool) Table {
-	tab := Table{
-		ID:     "fig7",
-		Title:  "Cache-conscious data placement on Olden (normalized cycles)",
-		Header: []string{"Benchmark", "Scheme", "norm", "busy", "load stall", "store stall", "heap"},
-	}
-	for _, b := range OldenBenchmarks {
-		var base olden.Result
-		for _, v := range olden.Figure7Variants {
-			if ctx.Err() != nil {
-				return interrupted(tab)
+// Table2 regenerates the benchmark characteristics serially; see
+// table2Spec.
+func Table2(ctx context.Context, full bool) Table { return runSpec(ctx, "table2", full) }
+
+// fig7Spec regenerates the Olden comparison (paper Figure 7) as one
+// job per benchmark/scheme cell — 32 independent simulations.
+func fig7Spec() Spec {
+	return Spec{
+		ID:   "fig7",
+		Desc: "Olden suite under eight placement schemes, cycle breakdown (paper Fig. 7)",
+		Jobs: func(full bool) []Job {
+			var js []Job
+			for _, b := range OldenBenchmarks {
+				for _, v := range olden.Figure7Variants {
+					js = append(js, oldenJob("fig7/"+b+"/"+v.String(), b, v))
+				}
 			}
-			r := oldenRun(b, v, full)
-			if v == olden.Base {
-				base = r
+			return js
+		},
+		Assemble: func(full bool, out []any) Table {
+			tab := Table{
+				ID:     "fig7",
+				Title:  "Cache-conscious data placement on Olden (normalized cycles)",
+				Header: []string{"Benchmark", "Scheme", "norm", "busy", "load stall", "store stall", "heap"},
 			}
-			tot := float64(base.Cycles())
-			s := r.Stats
-			tab.Rows = append(tab.Rows, []string{
-				b, v.String(),
-				pct(100 * float64(r.Cycles()) / tot),
-				pct(100 * float64(s.BusyCycles+s.L1HitCycles+s.PrefetchIssue) / tot),
-				pct(100 * float64(s.LoadStallCycles) / tot),
-				pct(100 * float64(s.StoreStall) / tot),
-				kb(r.HeapBytes),
-			})
-		}
+			k := 0
+			for _, b := range OldenBenchmarks {
+				base, haveBase := out[k].(olden.Result) // Figure7Variants[0] is Base
+				for i, v := range olden.Figure7Variants {
+					r, ok := out[k+i].(olden.Result)
+					if !ok || !haveBase {
+						continue
+					}
+					tot := float64(base.Cycles())
+					s := r.Stats
+					tab.Rows = append(tab.Rows, []string{
+						b, v.String(),
+						pct(100 * float64(r.Cycles()) / tot),
+						pct(100 * float64(s.BusyCycles+s.L1HitCycles+s.PrefetchIssue) / tot),
+						pct(100 * float64(s.LoadStallCycles) / tot),
+						pct(100 * float64(s.StoreStall) / tot),
+						kb(r.HeapBytes),
+					})
+				}
+				k += len(olden.Figure7Variants)
+			}
+			tab.Notes = append(tab.Notes,
+				"B=base HP=hw-prefetch SP=sw-prefetch FA/CA/NA=ccmalloc first-fit/closest/new-block Cl(+Col)=ccmorph",
+				"components are normalized to each benchmark's base total, as in the paper's stacked bars")
+			return tab
+		},
 	}
-	tab.Notes = append(tab.Notes,
-		"B=base HP=hw-prefetch SP=sw-prefetch FA/CA/NA=ccmalloc first-fit/closest/new-block Cl(+Col)=ccmorph",
-		"components are normalized to each benchmark's base total, as in the paper's stacked bars")
-	return tab
 }
+
+// Fig7 regenerates the Olden comparison serially; see fig7Spec.
+func Fig7(ctx context.Context, full bool) Table { return runSpec(ctx, "fig7", full) }
 
 // Table3 reproduces the qualitative technique summary (paper Table 3).
 func Table3() Table {
@@ -297,104 +420,214 @@ func Table3() Table {
 	}
 }
 
-// Control regenerates the §4.4 control experiment: ccmalloc with all
-// hints replaced by null pointers versus the base allocator.
-func Control(ctx context.Context, full bool) Table {
-	tab := Table{
-		ID:     "control",
-		Title:  "Null-hint control experiment (ccmalloc, all hints nil)",
-		Header: []string{"Benchmark", "base cycles", "null-hint cycles", "slowdown"},
-	}
-	for _, b := range OldenBenchmarks {
-		if ctx.Err() != nil {
-			return interrupted(tab)
-		}
-		base := oldenRun(b, olden.Base, full)
-		null := oldenRun(b, olden.CCMallocNullHint, full)
-		tab.Rows = append(tab.Rows, []string{
-			b,
-			fmt.Sprintf("%d", base.Cycles()),
-			fmt.Sprintf("%d", null.Cycles()),
-			pct(100*float64(null.Cycles())/float64(base.Cycles()) - 100),
-		})
-	}
-	tab.Notes = append(tab.Notes, "paper: 2-6% worse than the base versions that use system malloc")
-	return tab
+func table3Spec() Spec {
+	return singleTableSpec("table3", "qualitative technique trade-off summary (paper Table 3)",
+		func(context.Context, *sim.Sim, bool) Table { return Table3() })
 }
 
-// MemOvh regenerates the §4.4 memory-overhead accounting across
-// allocation strategies.
-func MemOvh(ctx context.Context, full bool) Table {
-	tab := Table{
-		ID:     "memovh",
-		Title:  "Heap footprint by allocation strategy",
-		Header: []string{"Benchmark", "base", "first-fit", "closest", "new-block", "FA blocks", "NA blocks", "NA vs FA blocks"},
+// controlSpec regenerates the §4.4 control experiment (ccmalloc with
+// all hints replaced by null pointers versus the base allocator) as a
+// base job and a null-hint job per benchmark.
+func controlSpec() Spec {
+	return Spec{
+		ID:   "control",
+		Desc: "ccmalloc null-hint control experiment (§4.4)",
+		Jobs: func(full bool) []Job {
+			var js []Job
+			for _, b := range OldenBenchmarks {
+				js = append(js,
+					oldenJob("control/"+b+"/base", b, olden.Base),
+					oldenJob("control/"+b+"/null-hint", b, olden.CCMallocNullHint))
+			}
+			return js
+		},
+		Assemble: func(full bool, out []any) Table {
+			tab := Table{
+				ID:     "control",
+				Title:  "Null-hint control experiment (ccmalloc, all hints nil)",
+				Header: []string{"Benchmark", "base cycles", "null-hint cycles", "slowdown"},
+			}
+			for i, b := range OldenBenchmarks {
+				base, ok1 := out[2*i].(olden.Result)
+				null, ok2 := out[2*i+1].(olden.Result)
+				if !ok1 || !ok2 {
+					continue
+				}
+				tab.Rows = append(tab.Rows, []string{
+					b,
+					fmt.Sprintf("%d", base.Cycles()),
+					fmt.Sprintf("%d", null.Cycles()),
+					pct(100*float64(null.Cycles())/float64(base.Cycles()) - 100),
+				})
+			}
+			tab.Notes = append(tab.Notes, "paper: 2-6% worse than the base versions that use system malloc")
+			return tab
+		},
 	}
-	footprint := func(b string, v olden.Variant) (int64, int64) {
-		env := olden.NewEnv(v, OldenScale)
-		r := runInEnv(b, env, full)
-		if cc, ok := env.Alloc.(*ccmalloc.Allocator); ok {
-			return r.HeapBytes, cc.BlocksUsed()
-		}
-		return r.HeapBytes, 0
-	}
-	for _, b := range OldenBenchmarks {
-		if ctx.Err() != nil {
-			return interrupted(tab)
-		}
-		base, _ := footprint(b, olden.Base)
-		fa, faBlk := footprint(b, olden.CCMallocFirstFit)
-		ca, _ := footprint(b, olden.CCMallocClosest)
-		na, naBlk := footprint(b, olden.CCMallocNewBlock)
-		tab.Rows = append(tab.Rows, []string{
-			b, kb(base), kb(fa), kb(ca), kb(na),
-			fmt.Sprintf("%d", faBlk), fmt.Sprintf("%d", naBlk),
-			pct(100*float64(naBlk)/float64(faBlk) - 100),
-		})
-	}
-	tab.Notes = append(tab.Notes,
-		"paper: new-block needs +12% (treeadd), +7% (health), +3% (mst), +30% (perimeter) more memory;",
-		"the cache-block column exposes the reservation slack that page-granular footprints can hide")
-	return tab
 }
 
-// Fig10 regenerates the model validation (paper Figure 10): predicted
-// versus measured C-tree speedup across tree sizes.
-func Fig10(ctx context.Context, full bool) Table {
-	sizes := []int64{1<<14 - 1, 1<<15 - 1, 1<<16 - 1, 1<<17 - 1}
-	searches := 20000
-	scale := int64(Scale)
+// Control regenerates the §4.4 control experiment serially; see
+// controlSpec.
+func Control(ctx context.Context, full bool) Table { return runSpec(ctx, "control", full) }
+
+// footprint is one memovh cell: heap bytes plus the ccmalloc
+// cache-block reservation count (zero for the base allocator).
+type footprint struct {
+	bytes, blocks int64
+}
+
+// memovhVariants are the allocation strategies the §4.4 memory-
+// overhead accounting compares, in column order.
+var memovhVariants = []olden.Variant{
+	olden.Base, olden.CCMallocFirstFit, olden.CCMallocClosest, olden.CCMallocNewBlock,
+}
+
+// memovhSpec regenerates the §4.4 memory-overhead accounting as one
+// job per benchmark/strategy cell.
+func memovhSpec() Spec {
+	return Spec{
+		ID:   "memovh",
+		Desc: "heap footprint by allocation strategy (§4.4)",
+		Jobs: func(full bool) []Job {
+			var js []Job
+			for _, b := range OldenBenchmarks {
+				for _, v := range memovhVariants {
+					b, v := b, v
+					js = append(js, Job{
+						Name: "memovh/" + b + "/" + v.Name(),
+						Run: func(ctx context.Context, s *sim.Sim, full bool) (any, error) {
+							env := olden.NewEnvIn(s, v, OldenScale)
+							r := runInEnv(b, env, full)
+							fp := footprint{bytes: r.HeapBytes}
+							if cc, ok := env.Alloc.(*ccmalloc.Allocator); ok {
+								fp.blocks = cc.BlocksUsed()
+							}
+							return fp, nil
+						},
+					})
+				}
+			}
+			return js
+		},
+		Assemble: func(full bool, out []any) Table {
+			tab := Table{
+				ID:     "memovh",
+				Title:  "Heap footprint by allocation strategy",
+				Header: []string{"Benchmark", "base", "first-fit", "closest", "new-block", "FA blocks", "NA blocks", "NA vs FA blocks"},
+			}
+			for i, b := range OldenBenchmarks {
+				cells := make([]footprint, len(memovhVariants))
+				ok := true
+				for j := range memovhVariants {
+					fp, got := out[i*len(memovhVariants)+j].(footprint)
+					if !got {
+						ok = false
+						break
+					}
+					cells[j] = fp
+				}
+				if !ok {
+					continue
+				}
+				base, fa, ca, na := cells[0], cells[1], cells[2], cells[3]
+				tab.Rows = append(tab.Rows, []string{
+					b, kb(base.bytes), kb(fa.bytes), kb(ca.bytes), kb(na.bytes),
+					fmt.Sprintf("%d", fa.blocks), fmt.Sprintf("%d", na.blocks),
+					pct(100*float64(na.blocks)/float64(fa.blocks) - 100),
+				})
+			}
+			tab.Notes = append(tab.Notes,
+				"paper: new-block needs +12% (treeadd), +7% (health), +3% (mst), +30% (perimeter) more memory;",
+				"the cache-block column exposes the reservation slack that page-granular footprints can hide")
+			return tab
+		},
+	}
+}
+
+// MemOvh regenerates the §4.4 memory-overhead accounting serially;
+// see memovhSpec.
+func MemOvh(ctx context.Context, full bool) Table { return runSpec(ctx, "memovh", full) }
+
+// fig10Params holds the workload sizing shared by Fig10's jobs.
+type fig10Params struct {
+	sizes    []int64
+	searches int
+	scale    int64
+}
+
+func fig10ParamsFor(full bool) fig10Params {
+	p := fig10Params{
+		sizes:    []int64{1<<14 - 1, 1<<15 - 1, 1<<16 - 1, 1<<17 - 1},
+		searches: 20000,
+		scale:    Scale,
+	}
 	if full {
-		sizes = []int64{1<<18 - 1, 1<<19 - 1, 1<<20 - 1, 1<<21 - 1, 1<<22 - 1}
-		searches = 1000000
-		scale = 1
+		p.sizes = []int64{1<<18 - 1, 1<<19 - 1, 1<<20 - 1, 1<<21 - 1, 1<<22 - 1}
+		p.searches = 1000000
+		p.scale = 1
 	}
-	tab := Table{
-		ID:     "fig10",
-		Title:  "Predicted and measured C-tree speedup vs tree size",
-		Header: []string{"Tree size", "predicted", "measured", "pred/meas"},
-	}
-	params := model.PaperParams()
-	for _, n := range sizes {
-		if ctx.Err() != nil {
-			return interrupted(tab)
-		}
-		pred, meas := fig10Point(n, searches, scale, params)
-		tab.Rows = append(tab.Rows, []string{
-			fmt.Sprintf("%d", n), f2(pred), f2(meas), f2(pred / meas),
-		})
-	}
-	tab.Notes = append(tab.Notes,
-		"the model tracks the curve's shape with a roughly constant bias, as in the paper;",
-		"here it overestimates (~1.4x) because the Figure 8 naive baseline assumes zero reuse",
-		"(K=1, R=0) while the simulated random tree still caches its root-most levels.",
-		"The paper's bias ran the other way (-15%), from TLB gains its model omitted.")
-	return tab
+	return p
 }
+
+// fig10Cell is one tree-size point: predicted and measured speedup.
+type fig10Cell struct {
+	pred, meas float64
+}
+
+// fig10Spec regenerates the model validation (paper Figure 10) as one
+// job per tree size.
+func fig10Spec() Spec {
+	return Spec{
+		ID:   "fig10",
+		Desc: "predicted vs measured C-tree speedup across tree sizes (paper Fig. 10)",
+		Jobs: func(full bool) []Job {
+			p := fig10ParamsFor(full)
+			params := model.PaperParams()
+			var js []Job
+			for _, n := range p.sizes {
+				n := n
+				js = append(js, Job{
+					Name: fmt.Sprintf("fig10/%d", n),
+					Run: func(ctx context.Context, s *sim.Sim, full bool) (any, error) {
+						pred, meas := fig10Point(s, n, p.searches, p.scale, params)
+						return fig10Cell{pred: pred, meas: meas}, nil
+					},
+				})
+			}
+			return js
+		},
+		Assemble: func(full bool, out []any) Table {
+			p := fig10ParamsFor(full)
+			tab := Table{
+				ID:     "fig10",
+				Title:  "Predicted and measured C-tree speedup vs tree size",
+				Header: []string{"Tree size", "predicted", "measured", "pred/meas"},
+			}
+			for i, n := range p.sizes {
+				c, ok := out[i].(fig10Cell)
+				if !ok {
+					continue
+				}
+				tab.Rows = append(tab.Rows, []string{
+					fmt.Sprintf("%d", n), f2(c.pred), f2(c.meas), f2(c.pred / c.meas),
+				})
+			}
+			tab.Notes = append(tab.Notes,
+				"the model tracks the curve's shape with a roughly constant bias, as in the paper;",
+				"here it overestimates (~1.4x) because the Figure 8 naive baseline assumes zero reuse",
+				"(K=1, R=0) while the simulated random tree still caches its root-most levels.",
+				"The paper's bias ran the other way (-15%), from TLB gains its model omitted.")
+			return tab
+		},
+	}
+}
+
+// Fig10 regenerates the model validation serially; see fig10Spec.
+func Fig10(ctx context.Context, full bool) Table { return runSpec(ctx, "fig10", full) }
 
 // fig10Point measures one tree size: naive (random-placement) search
 // time over C-tree search time, against the analytic prediction.
-func fig10Point(n int64, searches int, scale int64, params model.CacheParams) (pred, meas float64) {
+func fig10Point(sctx *sim.Sim, n int64, searches int, scale int64, params model.CacheParams) (pred, meas float64) {
 	lc := cache.ScaledHierarchy(scale).Levels[1]
 	ct := model.CTree{
 		N:       n,
@@ -406,7 +639,7 @@ func fig10Point(n int64, searches int, scale int64, params model.CacheParams) (p
 	pred = ct.PredictedSpeedup(params)
 
 	measure := func(morph bool) float64 {
-		m := machine.NewScaled(scale)
+		m := sctx.NewScaled(scale)
 		t := trees.MustBuild(m, heap.New(m.Arena), n, trees.RandomOrder, 11)
 		if morph {
 			_, err := t.Morph(0.5, nil)
@@ -426,17 +659,12 @@ func fig10Point(n int64, searches int, scale int64, params model.CacheParams) (p
 	return pred, meas
 }
 
-// All returns every experiment at quick scale, in paper order.
+// All returns every experiment at the given scale, in paper order,
+// run serially.
 func All(ctx context.Context, full bool) []Table {
-	return []Table{
-		Table1(),
-		Fig5(ctx, full),
-		Fig6(ctx, full),
-		Table2(ctx, full),
-		Fig7(ctx, full),
-		Table3(),
-		Control(ctx, full),
-		MemOvh(ctx, full),
-		Fig10(ctx, full),
+	var tabs []Table
+	for _, sp := range Registry() {
+		tabs = append(tabs, runSpec(ctx, sp.ID, full))
 	}
+	return tabs
 }

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"context"
+
+	"ccl/internal/sim"
+)
+
+// Job is one independently runnable unit of an experiment: a tree
+// configuration of Fig5, one Olden benchmark/variant cell of Fig7,
+// one ablation point, one oracle geometry. A job receives a fresh,
+// private run context, builds every machine and structure it needs
+// through it from fixed seeds, and shares no mutable state with any
+// other job — which is what makes the whole suite safe to execute on
+// a worker pool with byte-identical results at any parallelism.
+type Job struct {
+	// Name identifies the job in failure records and progress
+	// output, conventionally "<experiment>/<cell>".
+	Name string
+	// Run computes the job's payload. The payload type is private to
+	// the experiment: Assemble is the only consumer. An error (or a
+	// panic, which the pool recovers) becomes a structured Failure
+	// record instead of killing the run.
+	Run func(ctx context.Context, s *sim.Sim, full bool) (any, error)
+}
+
+// Spec declares one experiment: its identity, how it decomposes into
+// independent jobs, and how the job payloads assemble into the
+// experiment's table.
+type Spec struct {
+	ID   string
+	Desc string
+	// Jobs lists the experiment's units at the given scale. The
+	// decomposition must be deterministic: same full flag, same jobs.
+	Jobs func(full bool) []Job
+	// Assemble builds the table from job payloads, one entry per job
+	// in job order. An entry is nil when its job failed or was
+	// skipped by cancellation; Assemble must tolerate nil entries by
+	// omitting the affected rows (the runner marks such tables).
+	Assemble func(full bool, out []any) Table
+}
+
+// Registry returns every experiment in paper order — the canonical
+// order the runner assembles results in, whatever order jobs finish.
+func Registry() []Spec {
+	return []Spec{
+		table1Spec(),
+		fig5Spec(),
+		fig6Spec(),
+		table2Spec(),
+		fig7Spec(),
+		table3Spec(),
+		controlSpec(),
+		memovhSpec(),
+		fig10Spec(),
+		metricsSpec(),
+		ablationColorSpec(),
+		ablationBlockSpec(),
+		ablationIntervalSpec(),
+		oracleSpec(),
+	}
+}
+
+// Lookup returns the registered experiment with the given id.
+func Lookup(id string) (Spec, bool) {
+	for _, sp := range Registry() {
+		if sp.ID == id {
+			return sp, true
+		}
+	}
+	return Spec{}, false
+}
+
+// IDs returns the registered experiment ids in registry order.
+func IDs() []string {
+	specs := Registry()
+	ids := make([]string, len(specs))
+	for i, sp := range specs {
+		ids[i] = sp.ID
+	}
+	return ids
+}
+
+// runSpec executes one experiment's jobs serially, each in a fresh
+// run context, and assembles the table — the path the exported
+// single-experiment functions (Fig5, Control, ...) use. Job errors
+// panic, preserving those functions' fail-fast contract (DESIGN.md
+// §7); RunExperiment recovers them into Failure records.
+func runSpec(ctx context.Context, id string, full bool) Table {
+	sp, ok := Lookup(id)
+	if !ok {
+		panic("bench: unknown experiment " + id)
+	}
+	jobs := sp.Jobs(full)
+	out := make([]any, len(jobs))
+	cut := false
+	for i, jb := range jobs {
+		if ctx.Err() != nil {
+			cut = true
+			break
+		}
+		v, err := jb.Run(ctx, sim.New(), full)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = v
+	}
+	tab := sp.Assemble(full, out)
+	if cut {
+		tab = interrupted(tab)
+	}
+	return tab
+}
+
+// singleTableSpec wraps an experiment that does not decompose (or is
+// static) as a one-job spec.
+func singleTableSpec(id, desc string, f func(ctx context.Context, s *sim.Sim, full bool) Table) Spec {
+	return Spec{
+		ID:   id,
+		Desc: desc,
+		Jobs: func(full bool) []Job {
+			return []Job{{Name: id, Run: func(ctx context.Context, s *sim.Sim, full bool) (any, error) {
+				return f(ctx, s, full), nil
+			}}}
+		},
+		Assemble: func(full bool, out []any) Table {
+			if t, ok := out[0].(Table); ok {
+				return t
+			}
+			return Table{ID: id, Title: desc}
+		},
+	}
+}

@@ -10,7 +10,7 @@ import (
 	"ccl/internal/ccmorph"
 	"ccl/internal/heap"
 	"ccl/internal/layout"
-	"ccl/internal/machine"
+	"ccl/internal/sim"
 	"ccl/internal/telemetry"
 	"ccl/internal/trees"
 )
@@ -19,15 +19,31 @@ import (
 // report.
 const heatmapCols = 64
 
-// Metrics is the telemetry showcase experiment: it runs the tree
-// microbenchmark before and after ccmorph with a collector attached,
-// attributing every miss to the structure that caused it and
-// classifying it compulsory/capacity/conflict, then repeats the
-// Figure 6 RADIANCE run with and without coloring to show the
-// coloring's effect on last-level set pressure. The raw telemetry
-// reports ride along in Table.Telemetry, so `ccbench metrics -json`
-// emits the full machine-readable record.
-func Metrics(ctx context.Context, full bool) Table {
+// metricsTreeOut is the tree job's payload: the tabulated phase rows
+// plus the raw collector reports, keyed by phase name.
+type metricsTreeOut struct {
+	rows [][]string
+	tele map[string]telemetry.Report
+}
+
+// metricsRadOut is one RADIANCE job's payload.
+type metricsRadOut struct {
+	name   string
+	cycles int64
+	rep    telemetry.Report
+}
+
+// metricsRadModes are the Fig. 6 RADIANCE pair the metrics experiment
+// contrasts: clustering without and with coloring.
+var metricsRadModes = []radiance.Mode{radiance.Cluster, radiance.ClusterColor}
+
+// metricsTree runs the tree microbenchmark before and after ccmorph
+// with a collector attached, attributing every miss to the structure
+// that caused it and classifying it compulsory/capacity/conflict. The
+// registry rows publish through the run context's own
+// telemetry.Registry — per-run state, so concurrent metrics jobs
+// never share a namespace.
+func metricsTree(s *sim.Sim, full bool) metricsTreeOut {
 	n := int64(1<<15 - 1)
 	searches := 20000
 	scale := int64(Scale)
@@ -36,22 +52,14 @@ func Metrics(ctx context.Context, full bool) Table {
 		searches = 200000
 		scale = 1
 	}
+	out := metricsTreeOut{tele: map[string]telemetry.Report{}}
 
-	tab := Table{
-		ID:        "metrics",
-		Title:     "Telemetry: 3C miss classes, per-structure attribution, set heatmaps",
-		Header:    []string{"Workload", "Metric", "Value"},
-		Telemetry: map[string]telemetry.Report{},
-	}
-
-	// --- Tree microbenchmark, before and after ccmorph ---
-
-	m := machine.NewScaled(scale)
+	m := s.NewScaled(scale)
 	buildStart := m.Arena.Brk()
 	t := trees.MustBuild(m, heap.New(m.Arena), n, trees.RandomOrder, 11)
 	buildEnd := m.Arena.Brk()
 
-	runPhase := func(name string, col *telemetry.Collector) telemetry.Report {
+	runPhase := func(name string, col *telemetry.Collector) {
 		rng := rand.New(rand.NewSource(5))
 		for i := 0; i < searches/4; i++ { // steady state (§5.3)
 			t.Search(uint32(rng.Int63n(n)) + 1)
@@ -62,10 +70,8 @@ func Metrics(ctx context.Context, full bool) Table {
 			t.Search(uint32(rng.Int63n(n)) + 1)
 		}
 		rep := col.Report()
-		tab.Telemetry[name] = rep
-		cycles := m.Stats().TotalCycles()
-		tab.Rows = append(tab.Rows, metricRows(name, rep, cycles, searches)...)
-		return rep
+		out.tele[name] = rep
+		out.rows = append(out.rows, metricRows(name, rep, m.Stats().TotalCycles(), searches)...)
 	}
 
 	base := telemetry.Attach(m.Cache)
@@ -88,53 +94,102 @@ func Metrics(ctx context.Context, full bool) Table {
 	}
 	runPhase("ctree", ctree)
 
-	// The registry path: every ad-hoc stats struct publishes into one
-	// namespace, and a few headline counters make it into the table.
-	reg := telemetry.NewRegistry()
+	// The registry path: every ad-hoc stats struct publishes into the
+	// run's namespace, and a few headline counters make it into the
+	// table.
+	reg := s.Registry()
 	reg.Record("cache", m.Stats())
 	reg.Record("morph", morphStats)
 	for _, name := range []string{"morph.nodes", "morph.hot_clusters", "morph.new_bytes", "cache.cycles.total"} {
-		tab.Rows = append(tab.Rows, []string{"registry", name, fmt.Sprintf("%d", reg.Get(name))})
+		out.rows = append(out.rows, []string{"registry", name, fmt.Sprintf("%d", reg.Get(name))})
 	}
-
-	// --- RADIANCE with and without coloring (the Fig. 6 pair) ---
-
-	radCfg := radiance.DefaultConfig()
-	if full {
-		radCfg = radiance.PaperConfig()
-	}
-	radReports := map[string]telemetry.Report{}
-	for _, mode := range []radiance.Mode{radiance.Cluster, radiance.ClusterColor} {
-		if ctx.Err() != nil {
-			return interrupted(tab)
-		}
-		rm := machine.NewScaled(Scale)
-		col := telemetry.Attach(rm.Cache)
-		r := radiance.Run(rm, mode, radCfg)
-		rep := col.Report()
-		name := "radiance-" + mode.String()
-		radReports[name] = rep
-		tab.Telemetry[name] = rep
-		last := rep.Levels[len(rep.Levels)-1]
-		tab.Rows = append(tab.Rows,
-			[]string{name, "cycles", fmt.Sprintf("%d", r.Cycles())},
-			[]string{name, last.Name + " misses (comp/cap/conf)",
-				fmt.Sprintf("%d (%d/%d/%d)", last.Misses, last.Compulsory, last.Capacity, last.Conflict)},
-		)
-	}
-
-	tab.Notes = append(tab.Notes,
-		"conflict misses are the class coloring removes (§3.2); compare bst-base vs ctree and the radiance pair")
-	for _, nm := range []string{"bst-base", "ctree"} {
-		rep := tab.Telemetry[nm]
-		tab.Notes = append(tab.Notes, heatmapNote(nm, rep)...)
-	}
-	for _, mode := range []radiance.Mode{radiance.Cluster, radiance.ClusterColor} {
-		nm := "radiance-" + mode.String()
-		tab.Notes = append(tab.Notes, heatmapNote(nm, radReports[nm])...)
-	}
-	return tab
+	return out
 }
+
+// metricsSpec is the telemetry showcase experiment: the tree
+// microbenchmark job plus the Fig. 6 RADIANCE pair, each with a
+// collector attached. The raw telemetry reports ride along in
+// Table.Telemetry, so `ccbench metrics -json` emits the full
+// machine-readable record.
+func metricsSpec() Spec {
+	return Spec{
+		ID:   "metrics",
+		Desc: "telemetry: 3C miss classes, per-structure attribution, set heatmaps",
+		Jobs: func(full bool) []Job {
+			js := []Job{{
+				Name: "metrics/tree",
+				Run: func(ctx context.Context, s *sim.Sim, full bool) (any, error) {
+					return metricsTree(s, full), nil
+				},
+			}}
+			for _, mode := range metricsRadModes {
+				mode := mode
+				js = append(js, Job{
+					Name: "metrics/radiance-" + mode.String(),
+					Run: func(ctx context.Context, s *sim.Sim, full bool) (any, error) {
+						radCfg := radiance.DefaultConfig()
+						if full {
+							radCfg = radiance.PaperConfig()
+						}
+						rm := s.NewScaled(Scale)
+						col := telemetry.Attach(rm.Cache)
+						r := radiance.Run(rm, mode, radCfg)
+						return metricsRadOut{
+							name:   "radiance-" + mode.String(),
+							cycles: r.Cycles(),
+							rep:    col.Report(),
+						}, nil
+					},
+				})
+			}
+			return js
+		},
+		Assemble: func(full bool, out []any) Table {
+			tab := Table{
+				ID:        "metrics",
+				Title:     "Telemetry: 3C miss classes, per-structure attribution, set heatmaps",
+				Header:    []string{"Workload", "Metric", "Value"},
+				Telemetry: map[string]telemetry.Report{},
+			}
+			tree, haveTree := out[0].(metricsTreeOut)
+			if haveTree {
+				tab.Rows = append(tab.Rows, tree.rows...)
+				for name, rep := range tree.tele {
+					tab.Telemetry[name] = rep
+				}
+			}
+			rads := make([]metricsRadOut, 0, len(metricsRadModes))
+			for _, v := range out[1:] {
+				r, ok := v.(metricsRadOut)
+				if !ok {
+					continue
+				}
+				rads = append(rads, r)
+				tab.Telemetry[r.name] = r.rep
+				last := r.rep.Levels[len(r.rep.Levels)-1]
+				tab.Rows = append(tab.Rows,
+					[]string{r.name, "cycles", fmt.Sprintf("%d", r.cycles)},
+					[]string{r.name, last.Name + " misses (comp/cap/conf)",
+						fmt.Sprintf("%d (%d/%d/%d)", last.Misses, last.Compulsory, last.Capacity, last.Conflict)},
+				)
+			}
+			tab.Notes = append(tab.Notes,
+				"conflict misses are the class coloring removes (§3.2); compare bst-base vs ctree and the radiance pair")
+			if haveTree {
+				for _, nm := range []string{"bst-base", "ctree"} {
+					tab.Notes = append(tab.Notes, heatmapNote(nm, tree.tele[nm])...)
+				}
+			}
+			for _, r := range rads {
+				tab.Notes = append(tab.Notes, heatmapNote(r.name, r.rep)...)
+			}
+			return tab
+		},
+	}
+}
+
+// Metrics runs the telemetry showcase serially; see metricsSpec.
+func Metrics(ctx context.Context, full bool) Table { return runSpec(ctx, "metrics", full) }
 
 // metricRows tabulates one search phase: per-level 3C classification
 // and per-structure miss attribution.

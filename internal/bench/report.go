@@ -98,6 +98,32 @@ type Report struct {
 	// Interrupted is set when the run was cut short (SIGINT) and the
 	// report holds only the experiments that completed.
 	Interrupted bool `json:"interrupted,omitempty"`
+	// Timings records per-experiment wall-clock spans, in registry
+	// order. They are the only nondeterministic part of a report:
+	// comparing runs (e.g. the serial-vs-parallel equivalence test)
+	// means comparing everything else and ignoring or zeroing these.
+	Timings []Timing `json:"timings,omitempty"`
+}
+
+// Timing is one experiment's wall-clock record: the span from its
+// first job starting to its last job finishing on the worker pool.
+type Timing struct {
+	Experiment string `json:"experiment"`
+	WallUS     int64  `json:"wall_us"`
+	Jobs       int    `json:"jobs"`
+}
+
+// StripTimings returns a copy of rep with every wall-time field
+// zeroed, leaving the deterministic remainder — the comparable
+// payload for serial-vs-parallel equivalence checks.
+func StripTimings(rep Report) Report {
+	out := rep
+	out.Timings = make([]Timing, len(rep.Timings))
+	for i, tm := range rep.Timings {
+		tm.WallUS = 0
+		out.Timings[i] = tm
+	}
+	return out
 }
 
 // WriteJSON writes tables as an indented JSON Report.

@@ -14,8 +14,25 @@ import (
 // sweeps record what broke instead of dying with it.
 type Failure struct {
 	Experiment string `json:"experiment"`
-	Error      string `json:"error"`
-	Class      string `json:"class,omitempty"`
+	// Job names the sub-job that failed when the experiment ran on
+	// the worker pool ("fig7/health/Cl+Col"); empty for whole-
+	// experiment failures from the serial path.
+	Job   string `json:"job,omitempty"`
+	Error string `json:"error"`
+	Class string `json:"class,omitempty"`
+}
+
+// newFailure builds a Failure from a job's error or recovered panic
+// value.
+func newFailure(experiment, job string, v any) *Failure {
+	f := &Failure{Experiment: experiment, Job: job}
+	if err, ok := v.(error); ok {
+		f.Error = err.Error()
+		f.Class = cclerr.Class(err)
+	} else {
+		f.Error = fmt.Sprint(v)
+	}
+	return f
 }
 
 // interruptedNote marks a table whose remaining rows were skipped
@@ -36,14 +53,7 @@ func interrupted(t Table) Table {
 func RunExperiment(ctx context.Context, id string, run func(context.Context, bool) Table, full bool) (tab Table, fail *Failure) {
 	defer func() {
 		if r := recover(); r != nil {
-			f := &Failure{Experiment: id}
-			if err, ok := r.(error); ok {
-				f.Error = err.Error()
-				f.Class = cclerr.Class(err)
-			} else {
-				f.Error = fmt.Sprint(r)
-			}
-			tab, fail = Table{}, f
+			tab, fail = Table{}, newFailure(id, "", r)
 		}
 	}()
 	return run(ctx, full), nil

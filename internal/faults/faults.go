@@ -19,11 +19,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"ccl/internal/ccmorph"
 	"ccl/internal/cclerr"
 	"ccl/internal/heap"
 	"ccl/internal/memsys"
+	"ccl/internal/sim"
 )
 
 // Point names an injection point.
@@ -31,7 +33,7 @@ type Point string
 
 const (
 	// ArenaGrow fails memsys.Arena growth (simulated mmap/sbrk
-	// failure). Armed via ArmArena or memsys.SetDefaultGrowGuard.
+	// failure). Armed via ArmArena or, run-wide, via ArmSim.
 	ArenaGrow Point = "arena-grow"
 	// AllocBudget fails allocations once a byte budget is exhausted.
 	// Armed via Budget.
@@ -51,7 +53,15 @@ func Points() []Point {
 // Injector schedules failures by occurrence number per point. The
 // zero schedule injects nothing; the same schedule always fails the
 // same occurrences, so every failing run replays exactly.
+//
+// An Injector is safe for concurrent use, but occurrence numbering is
+// only deterministic when the guarded structures are driven from one
+// goroutine — which is why the bench worker pool arms a fresh
+// injector per job (one sim.Sim each) rather than sharing one across
+// the run. This package holds no package-level mutable state: every
+// armed hook is a field on the structure it guards.
 type Injector struct {
+	mu     sync.Mutex
 	nth    map[Point]map[int64]bool // occurrence numbers to fail, 1-based
 	counts map[Point]int64          // occurrences observed so far
 	fired  map[Point]int64          // failures actually injected
@@ -72,6 +82,8 @@ func (in *Injector) FailNth(p Point, n int64) *Injector {
 	if n <= 0 {
 		return in
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	if in.nth[p] == nil {
 		in.nth[p] = map[int64]bool{}
 	}
@@ -97,6 +109,8 @@ func (in *Injector) Seed(seed int64, perPoint int) *Injector {
 // error wrapping cclerr.ErrFaultInjected when the schedule says this
 // occurrence fails.
 func (in *Injector) Check(p Point) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	in.counts[p]++
 	n := in.counts[p]
 	if in.nth[p][n] {
@@ -108,14 +122,28 @@ func (in *Injector) Check(p Point) error {
 }
 
 // Count returns how many occurrences of p have been observed.
-func (in *Injector) Count(p Point) int64 { return in.counts[p] }
+func (in *Injector) Count(p Point) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[p]
+}
 
 // Fired returns how many failures have been injected at p.
-func (in *Injector) Fired(p Point) int64 { return in.fired[p] }
+func (in *Injector) Fired(p Point) int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[p]
+}
 
 // Scheduled returns the occurrence numbers scheduled to fail at p, in
 // ascending order.
 func (in *Injector) Scheduled(p Point) []int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.scheduledLocked(p)
+}
+
+func (in *Injector) scheduledLocked(p Point) []int64 {
 	var ns []int64
 	for n := range in.nth[p] {
 		ns = append(ns, n)
@@ -131,16 +159,15 @@ func (in *Injector) ArmArena(a *memsys.Arena) {
 	a.SetGrowGuard(func(n int64) error { return in.Check(ArenaGrow) })
 }
 
-// ArmDefaultGrowGuard installs the ArenaGrow schedule as the
-// process-wide default guard, reaching arenas created after this call
-// deep inside experiment code (cmd/ccbench -fault uses this). Call
-// DisarmDefaultGrowGuard when done.
-func (in *Injector) ArmDefaultGrowGuard() {
-	memsys.SetDefaultGrowGuard(func(n int64) error { return in.Check(ArenaGrow) })
+// ArmSim installs the ArenaGrow schedule as the run context's grow
+// guard, reaching every arena created through (or adopted by) that
+// Sim — the instance-scoped replacement for the old process-wide
+// default guard. cmd/ccbench -fault arms a fresh injector on each
+// job's Sim this way, so the schedule is deterministic per job no
+// matter how many jobs run concurrently.
+func (in *Injector) ArmSim(s *sim.Sim) {
+	s.SetGrowGuard(func(n int64) error { return in.Check(ArenaGrow) })
 }
-
-// DisarmDefaultGrowGuard clears the process-wide default grow guard.
-func DisarmDefaultGrowGuard() { memsys.SetDefaultGrowGuard(nil) }
 
 // ArmPlacer installs the PlaceCluster schedule as placer's placement
 // guard: scheduled cluster placements fail with an error the placer
@@ -215,7 +242,9 @@ func (in *Injector) Corrupt(data []byte) []byte {
 		return data
 	}
 	out := append([]byte(nil), data...)
-	for _, n := range in.Scheduled(TraceRecord) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, n := range in.scheduledLocked(TraceRecord) {
 		in.counts[TraceRecord]++
 		in.fired[TraceRecord]++
 		pos := int((n * 2654435761) % int64(len(out)))

@@ -11,6 +11,7 @@ import (
 	"ccl/internal/layout"
 	"ccl/internal/machine"
 	"ccl/internal/memsys"
+	"ccl/internal/sim"
 	"ccl/internal/trace"
 	"ccl/internal/trees"
 )
@@ -81,16 +82,21 @@ func TestArmArenaFailsScheduledGrow(t *testing.T) {
 	}
 }
 
-func TestDefaultGrowGuardArmDisarm(t *testing.T) {
-	NewInjector().FailNth(ArenaGrow, 1).ArmDefaultGrowGuard()
-	defer DisarmDefaultGrowGuard()
-	a := memsys.NewArena(0) // inherits the armed default guard
+func TestArmSimGrowGuard(t *testing.T) {
+	s := sim.New()
+	NewInjector().FailNth(ArenaGrow, 1).ArmSim(s)
+	a := s.NewArena(0) // every arena of the run context sees the schedule
 	if _, err := a.Grow(8); !errors.Is(err, cclerr.ErrFaultInjected) {
-		t.Fatalf("armed default guard: err = %v, want ErrFaultInjected", err)
+		t.Fatalf("armed context: err = %v, want ErrFaultInjected", err)
 	}
-	DisarmDefaultGrowGuard()
-	b := memsys.NewArena(0)
-	if _, err := b.Grow(8); err != nil {
+	// An unrelated context in the same process is untouched: arming is
+	// instance-scoped, not process-wide.
+	other := sim.New().NewArena(0)
+	if _, err := other.Grow(8); err != nil {
+		t.Fatalf("unrelated context failing: %v", err)
+	}
+	s.SetGrowGuard(nil)
+	if _, err := a.Grow(8); err != nil {
 		t.Fatalf("disarmed guard still failing: %v", err)
 	}
 }

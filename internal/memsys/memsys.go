@@ -104,29 +104,22 @@ type Arena struct {
 
 // NewArena returns an empty address space with the given page size.
 // A non-positive pageSize selects DefaultPageSize. The arena starts
-// with the full 32-bit address-space limit and the process-wide
-// default grow guard (see SetDefaultGrowGuard).
+// with the full 32-bit address-space limit and no grow guard; this
+// package holds no mutable state outside Arena instances, so arenas
+// on different goroutines never interfere.
 func NewArena(pageSize int64) *Arena {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
 	}
-	return &Arena{pageSize: pageSize, brk: arenaBase, limit: AddrSpaceLimit, guard: defaultGrowGuard}
+	return &Arena{pageSize: pageSize, brk: arenaBase, limit: AddrSpaceLimit}
 }
-
-// defaultGrowGuard is installed on every new arena; the fault-
-// injection CLI path (ccbench -fault) uses it to reach arenas created
-// deep inside experiments. Nil means no guard.
-var defaultGrowGuard func(n int64) error
-
-// SetDefaultGrowGuard sets the guard future NewArena calls install
-// (nil clears it). It does not affect existing arenas; use
-// SetGrowGuard for those.
-func SetDefaultGrowGuard(g func(n int64) error) { defaultGrowGuard = g }
 
 // SetGrowGuard installs a hook consulted before every growth of this
 // arena. A non-nil error from the guard fails the grow with that
 // error (wrapped in cclerr.ErrOutOfMemory); internal/faults uses this
-// seam to schedule "fail the Nth grow" deterministically.
+// seam to schedule "fail the Nth grow" deterministically, and sim.Sim
+// installs a forwarding guard here so a whole run's arenas share one
+// instance-scoped fault seam.
 func (a *Arena) SetGrowGuard(g func(n int64) error) { a.guard = g }
 
 // SetLimit lowers (or restores, up to AddrSpaceLimit) the first

@@ -21,6 +21,7 @@ import (
 	"ccl/internal/layout"
 	"ccl/internal/machine"
 	"ccl/internal/memsys"
+	"ccl/internal/sim"
 )
 
 // Variant is one bar of Figure 7.
@@ -170,12 +171,19 @@ type Env struct {
 	Variant Variant
 }
 
-// NewEnv builds the simulated machine Figure 7 runs on: the Table 1
+// NewEnv builds a benchmark environment in a fresh, private run
+// context; see NewEnvIn.
+func NewEnv(v Variant, scale int64) Env { return NewEnvIn(sim.New(), v, scale) }
+
+// NewEnvIn builds the simulated machine Figure 7 runs on: the Table 1
 // RSIM hierarchy (128-byte lines, 2-way 256 KB L2), scaled down by
 // scale to keep scaled workloads in proportion. The baseline
 // allocator is charged heap.Malloc-equivalent costs via ccmalloc's
-// cost model so allocator overhead comparisons are fair.
-func NewEnv(v Variant, scale int64) Env {
+// cost model so allocator overhead comparisons are fair. The machine
+// is owned by s, so the run context's fault guards reach it; an Env
+// shares no mutable state with any other Env, which is what lets the
+// bench worker pool run variants concurrently.
+func NewEnvIn(s *sim.Sim, v Variant, scale int64) Env {
 	cfg := cache.RSIMHierarchy()
 	if scale > 1 {
 		for i := range cfg.Levels {
@@ -196,7 +204,7 @@ func NewEnv(v Variant, scale int64) Env {
 			cfg.Levels[i].Size = s
 		}
 	}
-	m := machine.New(cfg)
+	m := s.NewMachine(cfg)
 	m.PointerPrefetch = v.HW()
 
 	var alloc heap.Allocator

@@ -7,7 +7,6 @@ import (
 	"testing"
 
 	"ccl/internal/cache"
-	"ccl/internal/memsys"
 	"ccl/internal/trace"
 )
 
@@ -18,64 +17,18 @@ import (
 // blocks. See TestFixtureBlocksCoveringMinBlock.
 const fixturePath = "testdata/blocks_covering_min.trace"
 
-// randomGeometry builds a small random hierarchy. Geometries are kept
-// tiny (at most a few hundred lines per level) so conflict misses and
-// evictions happen constantly; every level has latency >= 1 so the
-// production clock strictly advances (the LRU order precondition, see
-// the package comment).
-func randomGeometry(rng *rand.Rand) cache.Config {
-	nLevels := 1 + rng.Intn(3)
-	names := []string{"L1", "L2", "L3"}
-	var cfg cache.Config
-	for i := 0; i < nLevels; i++ {
-		block := int64(8) << rng.Intn(4) // 8..64
-		assoc := 1 + rng.Intn(4)
-		sets := int64(1 + rng.Intn(32))
-		cfg.Levels = append(cfg.Levels, cache.LevelConfig{
-			Name:      names[i],
-			Size:      sets * int64(assoc) * block,
-			Assoc:     assoc,
-			BlockSize: block,
-			Latency:   int64(1 + rng.Intn(4)),
-			WriteBack: rng.Intn(2) == 0,
-		})
-	}
-	cfg.MemLatency = 20
-	return cfg
-}
-
-// randomRecords builds an access stream over a 64 KB window with
-// sizes that regularly cross block boundaries.
-func randomRecords(rng *rand.Rand, n int) []trace.Record {
-	recs := make([]trace.Record, 0, n)
-	for i := 0; i < n; i++ {
-		k := trace.Load
-		if rng.Intn(2) == 0 {
-			k = trace.Store
-		}
-		recs = append(recs, trace.Record{
-			Kind: k,
-			Addr: memsys.Addr(rng.Intn(64 << 10)),
-			Size: int64(1 + rng.Intn(16)),
-		})
-	}
-	return recs
-}
-
 // TestDifferentialMillionAccesses is the acceptance gate: at least a
 // million accesses across at least twenty random geometries replayed
-// through both simulators with zero divergence.
+// through both simulators with zero divergence. The trace
+// construction lives in sweep.go (RandomGeometry / RandomRecords /
+// SweepTrace) so the bench oracle experiment replays the same cells.
 func TestDifferentialMillionAccesses(t *testing.T) {
 	const (
 		geometries = 24
 		perGeom    = 50_000 // 24 * 50k = 1.2M accesses
 	)
-	rng := rand.New(rand.NewSource(42))
 	for g := 0; g < geometries; g++ {
-		tr := trace.Trace{
-			Config:  randomGeometry(rng),
-			Records: randomRecords(rng, perGeom),
-		}
+		tr := SweepTrace(42, g, perGeom)
 		if d := Diff(tr); d != nil {
 			min := trace.Minimize(tr, func(c trace.Trace) bool { return Diff(c) != nil })
 			t.Fatalf("geometry %d: %v\nminimized to %d records: %v",
@@ -98,7 +51,7 @@ func TestDifferentialPaperConfigs(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			rng := rand.New(rand.NewSource(7))
-			tr := trace.Trace{Config: tc.cfg, Records: randomRecords(rng, 100_000)}
+			tr := trace.Trace{Config: tc.cfg, Records: RandomRecords(rng, 100_000)}
 			if d := Diff(tr); d != nil {
 				t.Fatal(d)
 			}
@@ -187,8 +140,8 @@ func TestCaptureDivergenceFixture(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 10_000; i++ {
 		tr := trace.Trace{
-			Config:  randomGeometry(rng),
-			Records: randomRecords(rng, 2_000),
+			Config:  RandomGeometry(rng),
+			Records: RandomRecords(rng, 2_000),
 		}
 		if Diff(tr) == nil {
 			continue

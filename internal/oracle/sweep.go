@@ -1,0 +1,72 @@
+package oracle
+
+import (
+	"math/rand"
+
+	"ccl/internal/cache"
+	"ccl/internal/memsys"
+	"ccl/internal/trace"
+)
+
+// This file is the sweep-construction API the differential harness
+// shares with internal/bench: the same random geometries and access
+// streams the acceptance test replays, packaged so each sweep cell is
+// an independent, deterministic unit a worker pool can run in any
+// order.
+
+// RandomGeometry builds a small random hierarchy. Geometries are kept
+// tiny (at most a few hundred lines per level) so conflict misses and
+// evictions happen constantly; every level has latency >= 1 so the
+// production clock strictly advances (the LRU order precondition, see
+// the package comment).
+func RandomGeometry(rng *rand.Rand) cache.Config {
+	nLevels := 1 + rng.Intn(3)
+	names := []string{"L1", "L2", "L3"}
+	var cfg cache.Config
+	for i := 0; i < nLevels; i++ {
+		block := int64(8) << rng.Intn(4) // 8..64
+		assoc := 1 + rng.Intn(4)
+		sets := int64(1 + rng.Intn(32))
+		cfg.Levels = append(cfg.Levels, cache.LevelConfig{
+			Name:      names[i],
+			Size:      sets * int64(assoc) * block,
+			Assoc:     assoc,
+			BlockSize: block,
+			Latency:   int64(1 + rng.Intn(4)),
+			WriteBack: rng.Intn(2) == 0,
+		})
+	}
+	cfg.MemLatency = 20
+	return cfg
+}
+
+// RandomRecords builds an access stream over a 64 KB window with
+// sizes that regularly cross block boundaries.
+func RandomRecords(rng *rand.Rand, n int) []trace.Record {
+	recs := make([]trace.Record, 0, n)
+	for i := 0; i < n; i++ {
+		k := trace.Load
+		if rng.Intn(2) == 0 {
+			k = trace.Store
+		}
+		recs = append(recs, trace.Record{
+			Kind: k,
+			Addr: memsys.Addr(rng.Intn(64 << 10)),
+			Size: int64(1 + rng.Intn(16)),
+		})
+	}
+	return recs
+}
+
+// SweepTrace builds cell g of a differential sweep: a random geometry
+// plus an n-record stream, from an rng derived only from (seed, g).
+// Cells are mutually independent, so a sweep's traces are identical
+// whether the cells are generated serially or by concurrent workers
+// in any order.
+func SweepTrace(seed int64, g, n int) trace.Trace {
+	rng := rand.New(rand.NewSource(seed + int64(g)*0x9e3779b9))
+	return trace.Trace{
+		Config:  RandomGeometry(rng),
+		Records: RandomRecords(rng, n),
+	}
+}

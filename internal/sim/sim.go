@@ -1,0 +1,105 @@
+// Package sim defines the per-run simulation context.
+//
+// Before this package existed, the simulation stack carried hidden
+// process-global state: memsys kept a package-level default grow
+// guard, the fault injector armed it globally, and experiments
+// assumed they were alone in the process. That made two Machines in
+// one process unsafe to run concurrently — and layout evaluation is
+// embarrassingly parallel across independent configurations, exactly
+// the shape of the experiment, ablation, and oracle sweeps.
+//
+// A Sim is the explicit owner of everything that used to be global:
+// the grow guard consulted by every arena the run creates, and a
+// per-run telemetry registry. Each experiment job gets a fresh Sim,
+// builds its machines through it, and shares no mutable state with
+// any other job; the bench worker pool (internal/bench) relies on
+// that isolation for its determinism guarantee. See DESIGN.md §8.
+//
+// A Sim itself is safe for concurrent use, but the objects built
+// through it (Arena, Machine) are not: each is confined to the one
+// goroutine running its job, which is the concurrency model of the
+// whole stack — share nothing, isolate runs, parallelize across Sims.
+package sim
+
+import (
+	"sync"
+
+	"ccl/internal/cache"
+	"ccl/internal/machine"
+	"ccl/internal/memsys"
+	"ccl/internal/telemetry"
+)
+
+// Sim is one run's simulation context. The zero value is not ready;
+// use New.
+type Sim struct {
+	mu        sync.Mutex
+	growGuard func(n int64) error
+	registry  *telemetry.Registry
+}
+
+// New returns a fresh context with no guards armed and an empty
+// telemetry registry.
+func New() *Sim { return &Sim{registry: telemetry.NewRegistry()} }
+
+// SetGrowGuard arms (or, with nil, disarms) the guard every arena
+// created through this context consults before growing — the
+// instance-scoped replacement for the old process-wide default grow
+// guard. Arming is effective immediately, including for arenas
+// created before the call.
+func (s *Sim) SetGrowGuard(g func(n int64) error) {
+	s.mu.Lock()
+	s.growGuard = g
+	s.mu.Unlock()
+}
+
+// checkGrow is the forwarding guard installed on adopted arenas; it
+// reads the current guard under the lock so arming and running can
+// happen on different goroutines.
+func (s *Sim) checkGrow(n int64) error {
+	s.mu.Lock()
+	g := s.growGuard
+	s.mu.Unlock()
+	if g == nil {
+		return nil
+	}
+	return g(n)
+}
+
+// Registry returns the run's telemetry registry. Everything recorded
+// during the run lands in this per-run instance, never in shared
+// state.
+func (s *Sim) Registry() *telemetry.Registry { return s.registry }
+
+// Adopt ties an existing machine's arena to this context's grow
+// guard and returns the machine, for call-site chaining.
+func (s *Sim) Adopt(m *machine.Machine) *machine.Machine {
+	s.AdoptArena(m.Arena)
+	return m
+}
+
+// AdoptArena ties an arena to this context's grow guard.
+func (s *Sim) AdoptArena(a *memsys.Arena) { a.SetGrowGuard(s.checkGrow) }
+
+// NewArena builds an address space owned by this context.
+func (s *Sim) NewArena(pageSize int64) *memsys.Arena {
+	a := memsys.NewArena(pageSize)
+	s.AdoptArena(a)
+	return a
+}
+
+// NewMachine builds a machine with the given cache configuration,
+// owned by this context.
+func (s *Sim) NewMachine(cfg cache.Config) *machine.Machine {
+	return s.Adopt(machine.New(cfg))
+}
+
+// NewPaper builds the paper's §4.1 measurement machine, owned by
+// this context.
+func (s *Sim) NewPaper() *machine.Machine { return s.Adopt(machine.NewPaper()) }
+
+// NewScaled builds the §4.1 machine scaled down by factor, owned by
+// this context.
+func (s *Sim) NewScaled(factor int64) *machine.Machine {
+	return s.Adopt(machine.NewScaled(factor))
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"ccl/internal/cache"
+)
+
+// TestGrowGuardScopedToContext is the point of the package: a guard
+// armed on one context fires on its arenas and nowhere else.
+func TestGrowGuardScopedToContext(t *testing.T) {
+	guarded, free := New(), New()
+	boom := errors.New("guarded")
+	guarded.SetGrowGuard(func(int64) error { return boom })
+
+	if _, err := guarded.NewArena(0).Grow(4096); !errors.Is(err, boom) {
+		t.Fatalf("guarded context's arena grew: %v", err)
+	}
+	if _, err := free.NewArena(0).Grow(4096); err != nil {
+		t.Fatalf("unrelated context caught the guard: %v", err)
+	}
+}
+
+// TestGrowGuardArmsExistingArenas verifies arming is effective for
+// arenas created before the SetGrowGuard call: the forwarding guard
+// reads the current function at grow time.
+func TestGrowGuardArmsExistingArenas(t *testing.T) {
+	s := New()
+	a := s.NewArena(0)
+	boom := errors.New("late guard")
+	s.SetGrowGuard(func(int64) error { return boom })
+	if _, err := a.Grow(4096); !errors.Is(err, boom) {
+		t.Fatalf("guard armed after arena creation did not fire: %v", err)
+	}
+	s.SetGrowGuard(nil)
+	if _, err := a.Grow(4096); err != nil {
+		t.Fatalf("disarmed guard still firing: %v", err)
+	}
+}
+
+// TestRegistryPerRun verifies each context owns a private telemetry
+// namespace.
+func TestRegistryPerRun(t *testing.T) {
+	a, b := New(), New()
+	a.Registry().Set("x", 1)
+	if got := b.Registry().Get("x"); got != 0 {
+		t.Fatalf("registry leaked across contexts: %d", got)
+	}
+	if got := a.Registry().Get("x"); got != 1 {
+		t.Fatalf("registry lost its own value: %d", got)
+	}
+}
+
+// TestConcurrentSims runs many contexts at once, each building a
+// machine and touching memory with its own guard armed — the shape
+// the bench worker pool relies on. Run under -race this is the
+// isolation proof.
+func TestConcurrentSims(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := New()
+			calls := 0
+			s.SetGrowGuard(func(int64) error { calls++; return nil })
+			m := s.NewMachine(cache.ScaledHierarchy(64))
+			if _, err := m.Arena.Grow(int64(4096 * (i + 1))); err != nil {
+				t.Errorf("sim %d: %v", i, err)
+			}
+			if calls == 0 {
+				t.Errorf("sim %d: guard never consulted", i)
+			}
+			s.Registry().Set("sim", int64(i))
+		}(i)
+	}
+	wg.Wait()
+}

@@ -28,6 +28,7 @@ package telemetry
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ccl/internal/cache"
 )
@@ -44,7 +45,16 @@ type Publisher interface {
 // gauges share the same representation; the distinction is in how
 // writers use Add versus Set. The zero-value semantics are those of a
 // counter map: reading an unwritten name yields zero.
+//
+// Concurrency guarantee: a Registry is safe for concurrent use by
+// multiple goroutines. Every method takes the registry's lock, each
+// Add/Set/Record is atomic with respect to every other call, and
+// Snapshot returns a consistent point-in-time copy. Parallel
+// experiment jobs normally publish into per-run registries (one per
+// sim.Sim), but sharing one — e.g. a process-wide metrics sink — is
+// also sound.
 type Registry struct {
+	mu   sync.Mutex
 	vals map[string]int64
 }
 
@@ -52,25 +62,41 @@ type Registry struct {
 func NewRegistry() *Registry { return &Registry{vals: map[string]int64{}} }
 
 // Add increments the named counter by delta.
-func (r *Registry) Add(name string, delta int64) { r.vals[name] += delta }
+func (r *Registry) Add(name string, delta int64) {
+	r.mu.Lock()
+	r.vals[name] += delta
+	r.mu.Unlock()
+}
 
 // Set overwrites the named gauge.
-func (r *Registry) Set(name string, v int64) { r.vals[name] = v }
+func (r *Registry) Set(name string, v int64) {
+	r.mu.Lock()
+	r.vals[name] = v
+	r.mu.Unlock()
+}
 
 // Get returns the named metric, or zero if it was never written.
-func (r *Registry) Get(name string) int64 { return r.vals[name] }
+func (r *Registry) Get(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.vals[name]
+}
 
 // Record publishes every counter of p under prefix (separated by a
 // dot), overwriting previous values — re-recording a stats snapshot
 // refreshes the registry rather than double-counting.
 func (r *Registry) Record(prefix string, p Publisher) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	p.Each(func(name string, v int64) {
-		r.Set(prefix+"."+name, v)
+		r.vals[prefix+"."+name] = v
 	})
 }
 
 // Snapshot returns a point-in-time copy of every metric.
 func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s := make(Snapshot, len(r.vals))
 	for k, v := range r.vals {
 		s[k] = v

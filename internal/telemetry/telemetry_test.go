@@ -1,7 +1,9 @@
 package telemetry
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"ccl/internal/cache"
@@ -313,5 +315,41 @@ func TestRegistryAndSnapshotDiff(t *testing.T) {
 func TestMissClassString(t *testing.T) {
 	if Compulsory.String() != "compulsory" || Capacity.String() != "capacity" || Conflict.String() != "conflict" {
 		t.Error("MissClass.String broken")
+	}
+}
+
+// TestRegistryConcurrentUse exercises the documented concurrency
+// guarantee: concurrent Add/Set/Record/Get/Snapshot with the counts
+// adding up exactly. Run under -race this is the safety proof.
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	const (
+		writers = 8
+		perG    = 1000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Add("shared", 1)
+				r.Set(fmt.Sprintf("gauge.%d", g), int64(i))
+				if i%100 == 0 {
+					_ = r.Get("shared")
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Get("shared"); got != writers*perG {
+		t.Fatalf("shared counter = %d, want %d (lost updates)", got, writers*perG)
+	}
+	s := r.Snapshot()
+	for g := 0; g < writers; g++ {
+		if s[fmt.Sprintf("gauge.%d", g)] != perG-1 {
+			t.Errorf("gauge.%d = %d, want %d", g, s[fmt.Sprintf("gauge.%d", g)], perG-1)
+		}
 	}
 }
