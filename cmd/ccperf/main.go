@@ -1,0 +1,154 @@
+// Command ccperf runs the repository's benchmark suites with fixed
+// iteration counts, emits a ccl-perf/v1 report, and gates it against
+// the checked-in baseline.
+//
+// Usage:
+//
+//	ccperf -json                  # run suites, print report JSON
+//	ccperf -out BENCH_sim.json    # run suites, write report to a file
+//	ccperf -check                 # run suites, fail on baseline regressions
+//	ccperf -update                # run suites, refresh the baseline in place
+//
+// See DESIGN.md §9 for the baseline policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"ccl/internal/perf"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "print the ccl-perf/v1 report to stdout")
+	out := flag.String("out", "", "write the report to this file")
+	check := flag.Bool("check", false, "compare against the baseline and exit non-zero on regression")
+	update := flag.Bool("update", false, "rewrite the baseline file with this run's numbers")
+	baseline := flag.String("baseline", "BENCH_sim.json", "baseline report path")
+	tolerance := flag.Float64("time-tolerance", perf.DefaultTimeTolerance,
+		"relative ns/op slack before a regression is declared")
+	flag.Parse()
+
+	if !*jsonOut && *out == "" && !*check && !*update {
+		fmt.Fprintln(os.Stderr, "ccperf: nothing to do; pass -json, -out, -check, or -update")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	entries, err := runSuites()
+	if err != nil {
+		fatal(err)
+	}
+	report := perf.NewReport(entries)
+
+	// Carry the baseline's note and reference block forward so -update
+	// does not erase history.
+	if prev, err := os.ReadFile(*baseline); err == nil {
+		if pr, err := perf.DecodeReport(prev); err == nil {
+			report.Note = pr.Note
+			report.Reference = pr.Reference
+		}
+	}
+
+	enc, err := report.Encode()
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		os.Stdout.Write(enc)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *update {
+		if err := os.WriteFile(*baseline, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ccperf: baseline %s updated (%d benchmarks)\n", *baseline, len(report.Bench))
+	}
+	if *check {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(fmt.Errorf("reading baseline: %v", err))
+		}
+		base, err := perf.DecodeReport(data)
+		if err != nil {
+			fatal(err)
+		}
+		violations := perf.Compare(report, base, *tolerance)
+		if len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "ccperf: %d regression(s) vs %s:\n", len(violations), *baseline)
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ccperf: %d benchmarks within tolerance of %s\n", len(base.Bench), *baseline)
+	}
+}
+
+// runSuites executes every perf.Suite plus the high-iteration
+// BenchmarkCacheAccess override and returns the merged entries.
+func runSuites() ([]perf.Entry, error) {
+	var entries []perf.Entry
+	for _, s := range perf.Suites() {
+		es, err := runBench(s.Package, s.Pattern, s.Iterations)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, es...)
+	}
+	// The per-access benchmark needs millions of iterations to resolve;
+	// re-run it alone and replace the short-count measurement.
+	hot, err := runBench("ccl", "^BenchmarkCacheAccess$", perf.CacheAccessIterations)
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range hot {
+		for i := range entries {
+			if entries[i].Key() == h.Key() {
+				entries[i] = h
+			}
+		}
+	}
+	return entries, nil
+}
+
+// runBench shells out to go test for one suite and parses the output.
+func runBench(pkg, pattern string, iterations int64) ([]perf.Entry, error) {
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", pattern,
+		"-benchtime", fmt.Sprintf("%dx", iterations),
+		"-benchmem",
+		pkg,
+	}
+	fmt.Fprintf(os.Stderr, "ccperf: go %s\n", argsLine(args))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench %s %s: %v\n%s", pattern, pkg, err, outBytes)
+	}
+	return perf.ParseBench(pkg, string(outBytes))
+}
+
+func argsLine(args []string) string {
+	s := ""
+	for i, a := range args {
+		if i > 0 {
+			s += " "
+		}
+		s += a
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccperf:", err)
+	os.Exit(1)
+}

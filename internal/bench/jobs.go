@@ -58,6 +58,7 @@ func Registry() []Spec {
 		ablationBlockSpec(),
 		ablationIntervalSpec(),
 		oracleSpec(),
+		replaySpec(),
 	}
 }
 

@@ -1,5 +1,10 @@
 // Package cache implements a parameterized, multi-level, set-associative
-// cache simulator with cycle accounting.
+// cache simulator: cycle accounting, per-access telemetry observers
+// (Observer: access/evict/fill callbacks consumed by package telemetry
+// for 3C miss classification, set heatmaps, and per-region
+// attribution), and a batched trace-replay entry point
+// (trace.AccessTrace) for replaying captured access streams at full
+// speed.
 //
 // The simulator plays the role RSIM and the UltraSPARC memory hierarchy
 // played in the paper: every load and store issued by a simulated
@@ -8,10 +13,22 @@
 // fill timestamps so that latency can be partially hidden by useful
 // work — the property that makes prefetching competitive on some
 // workloads and layout superior on others (paper §4.4).
+//
+// The demand-access path is the hottest code in the repository (every
+// experiment's every load and store funnels through Access), so it is
+// engineered to be allocation-free: set/way state lives in one
+// contiguous line slice per level indexed arithmetically, block and
+// set arithmetic uses precomputed shifts and masks, the data TLB is an
+// array (tlb.go) rather than a map, spanning accesses split without
+// building a slice, and the nil-observer path costs one predictable
+// pointer test per event site. TestAccessNoAllocs pins the zero-alloc
+// property; the differential oracle (internal/oracle) pins that none
+// of this diverges from the naive reference simulator.
 package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ccl/internal/memsys"
 )
@@ -92,10 +109,11 @@ type Config struct {
 	// which — like all sequential prefetchers — is of limited use
 	// to pointer-chasing programs (§1); see DESIGN.md §1.
 	HWPrefetch bool
-	// TLB models a fully-associative, LRU data TLB when Entries is
-	// positive. The paper's placement techniques explicitly trade
-	// on page locality ("putting the items on the same page is
-	// likely to reduce the program's working set, and improve TLB
+	// TLB models an array-backed, LRU data TLB when Entries is
+	// positive (fully associative by default; see TLBConfig.Ways).
+	// The paper's placement techniques explicitly trade on page
+	// locality ("putting the items on the same page is likely to
+	// reduce the program's working set, and improve TLB
 	// performance", §3.2.1), and §5.4 credits TLB effects for part
 	// of the measured speedup its cache-only model misses.
 	TLB TLBConfig
@@ -122,13 +140,6 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cache: memory latency must be positive")
 	}
 	return nil
-}
-
-// TLBConfig describes the data TLB. Zero Entries disables it.
-type TLBConfig struct {
-	Entries  int   // fully-associative entry count
-	PageSize int64 // bytes mapped per entry
-	Penalty  int64 // cycles per miss (software/table walk)
 }
 
 // PaperHierarchy returns the measurement machine of §4.1: a Sun
@@ -210,15 +221,14 @@ type Observer interface {
 	OnFill(level int, addr memsys.Addr, prefetch bool)
 }
 
-// line is one cache block's bookkeeping.
+// line is one cache block's bookkeeping beyond its tag (tags live in
+// the level's dense tag slice so lookups scan contiguous memory).
 type line struct {
-	valid      bool
-	tag        int64
-	dirty      bool
 	lastUse    int64 // for LRU
 	fillReady  int64 // cycle at which the fill completes
-	prefetched bool  // installed by a prefetch, not yet demand-touched
 	minStall   int64 // ROB-lead floor on the first demand touch (HW prefetch)
+	dirty      bool
+	prefetched bool // installed by a prefetch, not yet demand-touched
 }
 
 // LevelStats holds the per-level counters.
@@ -241,53 +251,91 @@ func (s LevelStats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
-// level is one cache level's state.
+// level is one cache level's state, flattened: way w of set s lives at
+// index s*assoc+w in two parallel contiguous slices — a dense tag
+// slice the lookup scan streams through (one 8-byte word per way; -1
+// marks an invalid way, unreachable by real tags since addresses are
+// non-negative) and a line slice holding the rest of each block's
+// bookkeeping. The flat layout replaces the seed's [][]line (one heap
+// object per set): a lookup is one slice index instead of two
+// dependent pointer loads.
 type level struct {
-	cfg  LevelConfig
-	sets [][]line // sets[set][way]
+	cfg   LevelConfig
+	tags  []int64 // sets*assoc block tags; -1 = invalid way
+	lines []line  // parallel per-way metadata
+
+	// Precomputed geometry, so the per-access path does no division
+	// when the set count is a power of two (every named hierarchy's
+	// is; random sweep geometries fall back to the division path).
+	assoc      int64
+	nsets      int64
+	latency    int64 // cfg.Latency, hoisted off the config struct
+	writeBack  bool
+	blockShift uint  // log2(BlockSize); block sizes are validated powers of two
+	setShift   uint  // log2(nsets) when nsets is a power of two
+	setMask    int64 // nsets-1 when nsets is a power of two, else -1
 }
 
-func newLevel(cfg LevelConfig) *level {
-	sets := make([][]line, cfg.Sets())
-	for i := range sets {
-		sets[i] = make([]line, cfg.Assoc)
+func newLevel(cfg LevelConfig) level {
+	nsets := cfg.Sets()
+	l := level{
+		cfg:        cfg,
+		tags:       make([]int64, nsets*int64(cfg.Assoc)),
+		lines:      make([]line, nsets*int64(cfg.Assoc)),
+		assoc:      int64(cfg.Assoc),
+		nsets:      nsets,
+		latency:    cfg.Latency,
+		writeBack:  cfg.WriteBack,
+		blockShift: uint(bits.TrailingZeros64(uint64(cfg.BlockSize))),
+		setMask:    -1,
 	}
-	return &level{cfg: cfg, sets: sets}
+	for i := range l.tags {
+		l.tags[i] = -1
+	}
+	if nsets&(nsets-1) == 0 {
+		l.setMask = nsets - 1
+		l.setShift = uint(bits.TrailingZeros64(uint64(nsets)))
+	}
+	return l
 }
 
 func (l *level) setAndTag(addr memsys.Addr) (int64, int64) {
-	blk := int64(addr) / l.cfg.BlockSize
-	return blk % l.cfg.Sets(), blk / l.cfg.Sets()
+	blk := int64(addr) >> l.blockShift
+	if l.setMask >= 0 {
+		return blk & l.setMask, blk >> l.setShift
+	}
+	return blk % l.nsets, blk / l.nsets
 }
 
 // blockAddr inverts setAndTag: the base address of the block a
 // (set, tag) pair names. Eviction callbacks use it to report which
 // block a victim held.
 func (l *level) blockAddr(set, tag int64) memsys.Addr {
-	return memsys.Addr((tag*l.cfg.Sets() + set) * l.cfg.BlockSize)
+	return memsys.Addr((tag*l.nsets + set) << l.blockShift)
 }
 
 // lookup returns the way holding addr, or -1.
 func (l *level) lookup(addr memsys.Addr) (set int64, way int) {
 	set, tag := l.setAndTag(addr)
-	for w := range l.sets[set] {
-		ln := &l.sets[set][w]
-		if ln.valid && ln.tag == tag {
-			return set, w
+	base := set * l.assoc
+	for w := int64(0); w < l.assoc; w++ {
+		if l.tags[base+w] == tag {
+			return set, int(w)
 		}
 	}
 	return set, -1
 }
 
-// victim picks the LRU way of a set, preferring invalid ways.
-func (l *level) victim(set int64) int {
-	best := 0
-	for w := range l.sets[set] {
-		ln := &l.sets[set][w]
-		if !ln.valid {
+// victim picks the LRU way of a set, preferring invalid ways, ties
+// broken toward the lowest way.
+func (l *level) victim(set int64) int64 {
+	base := set * l.assoc
+	best := int64(0)
+	for w := int64(0); w < l.assoc; w++ {
+		if l.tags[base+w] < 0 {
 			return w
 		}
-		if ln.lastUse < l.sets[set][best].lastUse {
+		if l.lines[base+w].lastUse < l.lines[base+best].lastUse {
 			best = w
 		}
 	}
@@ -340,17 +388,33 @@ func (s Stats) Each(f func(name string, v int64)) {
 	f("mem.accesses", s.MemAccesses)
 }
 
-// Hierarchy is a multi-level cache simulator with a cycle clock.
-type Hierarchy struct {
-	cfg      Config
-	levels   []*level
-	minBlock int64 // smallest block size of any level
-	now      int64
-	stats    Stats
-	obs      Observer // nil when telemetry is disabled
+// probe is one level's descent result, carried from the lookup scan
+// to the install phase so a miss does not redo the set/tag arithmetic
+// or the victim scan (the scan that found no matching tag already saw
+// every way's recency).
+type probe struct {
+	set, tag int64
+	victim   int64
+}
 
-	// TLB state: page number -> last use, bounded by cfg.TLB.Entries.
-	tlb map[int64]int64
+// Hierarchy is a multi-level cache simulator with a cycle clock.
+//
+// A Hierarchy is not safe for concurrent use; per-run contexts
+// (internal/sim) give each worker its own instance (DESIGN.md §8).
+type Hierarchy struct {
+	cfg           Config
+	levels        []level
+	minBlockShift uint // log2 of the smallest block size of any level
+	now           int64
+	stats         Stats
+	obs           Observer // nil when telemetry is disabled
+
+	// probes is the demand descent's per-level scratch, sized at
+	// construction so the access path never allocates.
+	probes []probe
+
+	// tlb is the array-backed data TLB, nil when disabled (tlb.go).
+	tlb *tlb
 }
 
 // New builds a hierarchy from cfg. It panics on an invalid
@@ -366,18 +430,21 @@ func New(cfg Config) *Hierarchy {
 	if cfg.ROBLead == 0 {
 		cfg.ROBLead = 16
 	}
-	h := &Hierarchy{cfg: cfg, minBlock: cfg.Levels[0].BlockSize}
+	h := &Hierarchy{cfg: cfg}
+	minBlock := cfg.Levels[0].BlockSize
 	for _, lc := range cfg.Levels {
 		h.levels = append(h.levels, newLevel(lc))
-		if lc.BlockSize < h.minBlock {
-			h.minBlock = lc.BlockSize
+		if lc.BlockSize < minBlock {
+			minBlock = lc.BlockSize
 		}
 	}
+	h.minBlockShift = uint(bits.TrailingZeros64(uint64(minBlock)))
+	h.probes = make([]probe, len(cfg.Levels))
 	if cfg.TLB.Entries > 0 {
-		if cfg.TLB.PageSize <= 0 || cfg.TLB.Penalty < 0 {
-			panic("cache: TLB needs a positive page size and non-negative penalty")
+		if err := cfg.TLB.validate(); err != nil {
+			panic(err)
 		}
-		h.tlb = make(map[int64]int64, cfg.TLB.Entries)
+		h.tlb = newTLB(cfg.TLB)
 	}
 	h.stats.Levels = make([]LevelStats, len(cfg.Levels))
 	return h
@@ -422,13 +489,13 @@ func (h *Hierarchy) ResetStats() {
 // Flush invalidates every block in every level and clears the TLB.
 func (h *Hierarchy) Flush() {
 	if h.tlb != nil {
-		h.tlb = make(map[int64]int64, h.cfg.TLB.Entries)
+		h.tlb.reset()
 	}
-	for _, l := range h.levels {
-		for s := range l.sets {
-			for w := range l.sets[s] {
-				l.sets[s][w] = line{}
-			}
+	for i := range h.levels {
+		l := &h.levels[i]
+		for j := range l.tags {
+			l.tags[j] = -1
+			l.lines[j] = line{}
 		}
 	}
 }
@@ -444,35 +511,24 @@ func (h *Hierarchy) Tick(n int64) {
 	h.stats.BusyCycles += n
 }
 
-// blocksCovering yields one sub-access address per block covering
-// [addr, addr+size) at the granularity of the hierarchy's smallest
-// block size, so each sub-access touches exactly one block at every
-// level. The first sub-access keeps the original address (its offset
-// cannot cross a block boundary at any level); the rest are aligned.
-//
-// Using L1's block size here was a bug the differential oracle
-// caught: with a lower level whose blocks are smaller than L1's, a
-// spanning access was simulated as a single access to the L1 block
-// base, touching the wrong small block and skipping the others. See
-// internal/oracle/testdata/blocks_covering_min.trace.
-func (h *Hierarchy) blocksCovering(addr memsys.Addr, size int64) []memsys.Addr {
-	b := h.minBlock
-	first := int64(addr) / b
-	last := (int64(addr) + size - 1) / b
-	if first == last {
-		return []memsys.Addr{addr}
-	}
-	out := make([]memsys.Addr, 0, last-first+1)
-	out = append(out, addr)
-	for blk := first + 1; blk <= last; blk++ {
-		out = append(out, memsys.Addr(blk*b))
-	}
-	return out
-}
-
 // Access simulates a demand access of size bytes at addr and returns
 // the total cycles it cost (including the L1 hit cycle). The clock
 // advances by the returned amount.
+//
+// A spanning access is split into one sub-access per covered block at
+// the granularity of the hierarchy's smallest block size, so each
+// sub-access touches exactly one block at every level. The first
+// sub-access keeps the original address (its offset cannot cross a
+// block boundary at any level); the rest are aligned. The split is
+// computed arithmetically — no slice is built — so the demand path
+// performs no allocation (TestAccessNoAllocs).
+//
+// Splitting at L1's block size instead of the hierarchy minimum was a
+// bug the differential oracle caught: with a lower level whose blocks
+// are smaller than L1's, a spanning access was simulated as a single
+// access to the L1 block base, touching the wrong small block and
+// skipping the others. See
+// internal/oracle/testdata/blocks_covering_min.trace.
 func (h *Hierarchy) Access(addr memsys.Addr, size int64, kind AccessKind) int64 {
 	if kind == PrefetchRead {
 		return h.Prefetch(addr)
@@ -480,54 +536,84 @@ func (h *Hierarchy) Access(addr memsys.Addr, size int64, kind AccessKind) int64 
 	if size <= 0 {
 		panic("cache: Access with non-positive size")
 	}
-	var total int64
-	for _, a := range h.blocksCovering(addr, size) {
-		total += h.accessOne(a, kind)
+	sh := h.minBlockShift
+	first := int64(addr) >> sh
+	last := (int64(addr) + size - 1) >> sh
+	total := h.accessOne(addr, kind)
+	for blk := first + 1; blk <= last; blk++ {
+		total += h.accessOne(memsys.Addr(blk<<sh), kind)
 	}
 	return total
 }
 
 // tlbCharge consults the TLB for addr's page, returning the added
-// translation latency.
+// translation latency. The caller has already checked h.tlb != nil so
+// TLB-less hierarchies skip the call entirely.
 func (h *Hierarchy) tlbCharge(addr memsys.Addr) int64 {
-	if h.tlb == nil {
-		return 0
-	}
+	t := h.tlb
 	h.stats.TLBAccesses++
-	page := int64(addr) / h.cfg.TLB.PageSize
-	if _, ok := h.tlb[page]; ok {
-		h.tlb[page] = h.now
+	page := t.pageOf(addr)
+	if t.touch(page, h.now) {
 		return 0
 	}
 	h.stats.TLBMisses++
-	if len(h.tlb) >= h.cfg.TLB.Entries {
-		victim, oldest := int64(-1), int64(1<<62)
-		for p, t := range h.tlb {
-			if t < oldest {
-				victim, oldest = p, t
-			}
-		}
-		delete(h.tlb, victim)
-	}
-	h.tlb[page] = h.now
-	return h.cfg.TLB.Penalty
+	t.insert(page, h.now)
+	return t.penalty
 }
 
-// accessOne handles a demand access contained in a single L1 block.
+// accessOne handles a demand access contained in a single block at
+// every level. The descent fuses the tag lookup with victim selection:
+// the scan that establishes a miss has already seen every way's
+// recency, so the install phase reuses the probe instead of rescanning
+// the set (h.probes[i] is only written — and only read — for levels
+// that missed).
 func (h *Hierarchy) accessOne(addr memsys.Addr, kind AccessKind) int64 {
-	latency := h.tlbCharge(addr)
+	var latency int64
+	if h.tlb != nil {
+		latency = h.tlbCharge(addr)
+	}
 	hitLevel := -1
 	var stallUntil int64
+	stats := h.stats.Levels
 
-	for i, l := range h.levels {
-		h.stats.Levels[i].Accesses++
-		latency += l.cfg.Latency
-		set, way := l.lookup(addr)
+	for i := range h.levels {
+		l := &h.levels[i]
+		st := &stats[i]
+		st.Accesses++
+		latency += l.latency
+		set, tag := l.setAndTag(addr)
+		base := set * l.assoc
+		way := int64(-1)
+		vict := int64(0)
+		if l.assoc == 1 {
+			// Direct-mapped: one compare, and the victim is the slot.
+			if l.tags[base] == tag {
+				way = 0
+			}
+		} else {
+			tags := l.tags[base : base+l.assoc]
+			lines := l.lines[base : base+l.assoc]
+			haveInvalid := false
+			for w := range tags {
+				tg := tags[w]
+				if tg == tag {
+					way = int64(w)
+					break
+				}
+				if !haveInvalid {
+					if tg < 0 {
+						vict, haveInvalid = int64(w), true
+					} else if lines[w].lastUse < lines[vict].lastUse {
+						vict = int64(w)
+					}
+				}
+			}
+		}
 		if way >= 0 {
-			ln := &l.sets[set][way]
-			h.stats.Levels[i].Hits++
+			ln := &l.lines[base+way]
+			st.Hits++
 			if ln.prefetched {
-				h.stats.Levels[i].PrefetchHit++
+				st.PrefetchHit++
 				ln.prefetched = false
 				if ln.minStall > 0 {
 					// Hardware prefetch: at best, the fill began a
@@ -538,16 +624,17 @@ func (h *Hierarchy) accessOne(addr memsys.Addr, kind AccessKind) int64 {
 			}
 			if ln.fillReady > h.now && ln.fillReady > stallUntil {
 				stallUntil = ln.fillReady
-				h.stats.Levels[i].LateHits++
+				st.LateHits++
 			}
 			ln.lastUse = h.now
-			if kind == Store && l.cfg.WriteBack {
+			if kind == Store && l.writeBack {
 				ln.dirty = true
 			}
 			hitLevel = i
 			break
 		}
-		h.stats.Levels[i].Misses++
+		st.Misses++
+		h.probes[i] = probe{set: set, tag: tag, victim: vict}
 	}
 
 	if hitLevel == -1 {
@@ -564,15 +651,18 @@ func (h *Hierarchy) accessOne(addr memsys.Addr, kind AccessKind) int64 {
 	}
 
 	// Install the block in every level above the hit level
-	// (inclusive hierarchy); fills complete when the access does.
-	h.install(addr, hitLevel, h.now+latency, kind, false)
+	// (inclusive hierarchy); fills complete when the access does. An
+	// L1 hit has nothing to install.
+	if hitLevel != 0 {
+		h.installProbed(hitLevel, h.now+latency, kind)
+	}
 
 	if h.obs != nil {
 		h.obs.OnAccess(addr, kind, hitLevel)
 	}
 
 	// Attribute cycles: 1 L1-hit cycle per access, remainder is stall.
-	l1 := h.cfg.Levels[0].Latency
+	l1 := h.levels[0].latency
 	if latency < l1 {
 		latency = l1
 	}
@@ -586,38 +676,87 @@ func (h *Hierarchy) accessOne(addr memsys.Addr, kind AccessKind) int64 {
 	return latency
 }
 
-// install places addr's block into levels [0, belowLevel) — or all
-// levels when belowLevel is -1 — evicting LRU victims.
+// installProbed places the accessed block into levels [0, hitLevel) —
+// or all levels when hitLevel is -1 — reusing the demand descent's
+// probes. The one case where a probe's victim can be stale is a total
+// miss with the hardware prefetcher on: prefetchInto ran between the
+// descent and this install and may have filled the very way the probe
+// chose at the last level, so that level's victim is re-picked against
+// current state (matching the seed simulator, which always chose
+// victims after the prefetch).
+func (h *Hierarchy) installProbed(hitLevel int, ready int64, kind AccessKind) {
+	top := hitLevel
+	if top == -1 {
+		top = len(h.levels)
+	}
+	for i := 0; i < top; i++ {
+		l := &h.levels[i]
+		p := h.probes[i]
+		w := p.victim
+		if hitLevel == -1 && h.cfg.HWPrefetch && i == len(h.levels)-1 {
+			w = l.victim(p.set)
+		}
+		slot := p.set*l.assoc + w
+		if old := l.tags[slot]; old >= 0 {
+			st := &h.stats.Levels[i]
+			st.Evictions++
+			if l.lines[slot].dirty {
+				st.Writebacks++
+			}
+			if h.obs != nil {
+				h.obs.OnEvict(i, l.blockAddr(p.set, old), l.lines[slot].dirty)
+			}
+		}
+		l.tags[slot] = p.tag
+		l.lines[slot] = line{
+			lastUse:   h.now,
+			fillReady: ready,
+			dirty:     kind == Store && l.writeBack,
+		}
+		if h.obs != nil {
+			h.obs.OnFill(i, l.blockAddr(p.set, p.tag), false)
+		}
+	}
+}
+
+// install places addr's block into levels [0, hitLevel) — or all
+// levels when hitLevel is -1 — evicting LRU victims. It recomputes
+// each level's geometry; the demand path uses installProbed instead.
 func (h *Hierarchy) install(addr memsys.Addr, hitLevel int, ready int64, kind AccessKind, prefetched bool) {
 	top := hitLevel
 	if top == -1 {
 		top = len(h.levels)
 	}
 	for i := 0; i < top; i++ {
-		l := h.levels[i]
+		l := &h.levels[i]
 		set, tag := l.setAndTag(addr)
-		w := l.victim(set)
-		ln := &l.sets[set][w]
-		if ln.valid {
-			h.stats.Levels[i].Evictions++
-			if ln.dirty {
-				h.stats.Levels[i].Writebacks++
-			}
-			if h.obs != nil {
-				h.obs.OnEvict(i, l.blockAddr(set, ln.tag), ln.dirty)
-			}
-		}
-		*ln = line{
-			valid:      true,
-			tag:        tag,
-			lastUse:    h.now,
-			fillReady:  ready,
-			dirty:      kind == Store && l.cfg.WriteBack,
-			prefetched: prefetched,
+		h.fill(i, l, set, tag, l.victim(set), ready, kind == Store && l.writeBack, prefetched)
+	}
+}
+
+// fill installs tag into way of set at level i, evicting the current
+// occupant if valid.
+func (h *Hierarchy) fill(i int, l *level, set, tag, way int64, ready int64, dirty, prefetched bool) {
+	slot := set*l.assoc + way
+	if old := l.tags[slot]; old >= 0 {
+		st := &h.stats.Levels[i]
+		st.Evictions++
+		if l.lines[slot].dirty {
+			st.Writebacks++
 		}
 		if h.obs != nil {
-			h.obs.OnFill(i, l.blockAddr(set, tag), prefetched)
+			h.obs.OnEvict(i, l.blockAddr(set, old), l.lines[slot].dirty)
 		}
+	}
+	l.tags[slot] = tag
+	l.lines[slot] = line{
+		lastUse:    h.now,
+		fillReady:  ready,
+		dirty:      dirty,
+		prefetched: prefetched,
+	}
+	if h.obs != nil {
+		h.obs.OnFill(i, l.blockAddr(set, tag), prefetched)
 	}
 }
 
@@ -643,11 +782,11 @@ func (h *Hierarchy) prefetchCapped(addr memsys.Addr, cost int64, robCapped bool)
 	h.now += cost
 
 	// Prefetches that miss the TLB are dropped, as real hardware
-	// drops them rather than taking a translation fault.
-	if h.tlb != nil {
-		if _, ok := h.tlb[int64(addr)/h.cfg.TLB.PageSize]; !ok {
-			return cost
-		}
+	// drops them rather than taking a translation fault. The probe
+	// does not refresh the page's recency: a dropped prefetch is
+	// invisible to the translation hardware.
+	if h.tlb != nil && h.tlb.probe(h.tlb.pageOf(addr)) < 0 {
+		return cost
 	}
 
 	// A prefetch that hits everywhere is free beyond issue cost.
@@ -656,7 +795,8 @@ func (h *Hierarchy) prefetchCapped(addr memsys.Addr, cost int64, robCapped bool)
 	}
 	hitLevel := -1
 	lat := int64(0)
-	for i, l := range h.levels {
+	for i := range h.levels {
+		l := &h.levels[i]
 		lat += l.cfg.Latency
 		if _, way := l.lookup(addr); way >= 0 {
 			hitLevel = i
@@ -688,9 +828,9 @@ func (h *Hierarchy) setMinStall(addr memsys.Addr, hitLevel int, floor int64) {
 		top = len(h.levels)
 	}
 	for i := 0; i < top; i++ {
-		l := h.levels[i]
+		l := &h.levels[i]
 		if set, way := l.lookup(addr); way >= 0 {
-			l.sets[set][way].minStall = floor
+			l.lines[set*l.assoc+int64(way)].minStall = floor
 		}
 	}
 }
@@ -699,27 +839,13 @@ func (h *Hierarchy) setMinStall(addr memsys.Addr, hitLevel int, floor int64) {
 // cost is charged to the program.
 func (h *Hierarchy) prefetchInto(addr memsys.Addr, ready int64) {
 	last := len(h.levels) - 1
-	l := h.levels[last]
+	l := &h.levels[last]
 	if _, way := l.lookup(addr); way >= 0 {
 		return
 	}
 	h.stats.Levels[last].Prefetches++
 	set, tag := l.setAndTag(addr)
-	w := l.victim(set)
-	ln := &l.sets[set][w]
-	if ln.valid {
-		h.stats.Levels[last].Evictions++
-		if ln.dirty {
-			h.stats.Levels[last].Writebacks++
-		}
-		if h.obs != nil {
-			h.obs.OnEvict(last, l.blockAddr(set, ln.tag), ln.dirty)
-		}
-	}
-	*ln = line{valid: true, tag: tag, lastUse: h.now, fillReady: ready, prefetched: true}
-	if h.obs != nil {
-		h.obs.OnFill(last, l.blockAddr(set, tag), true)
-	}
+	h.fill(last, l, set, tag, l.victim(set), ready, false, true)
 }
 
 // Contains reports whether addr's block is resident at level i.

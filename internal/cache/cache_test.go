@@ -612,20 +612,21 @@ func TestBlocksCoveringMinBlockSize(t *testing.T) {
 	if h.Contains(1, 0) {
 		t.Fatal("L2 block [0,8) was filled but never accessed")
 	}
-	// The first sub-access keeps its unaligned address: an offset
-	// within the smallest block cannot change any level's block.
+	// The first sub-access keeps its unaligned address (an offset
+	// within the smallest block cannot change any level's block); the
+	// rest are aligned to the minimum block size. The observer sees
+	// one OnAccess per sub-access, so it pins the split addresses.
 	h2 := New(Config{
 		Levels: []LevelConfig{
 			{Name: "L1", Size: 64, Assoc: 1, BlockSize: 16, Latency: 1},
 		},
 		MemLatency: 10,
 	})
-	var got []memsys.Addr
-	for _, a := range h2.blocksCovering(3, 17) {
-		got = append(got, a)
-	}
-	want := []memsys.Addr{3, 16}
-	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
-		t.Fatalf("blocksCovering(3, 17) = %v, want %v", got, want)
+	rec := &recObserver{}
+	h2.SetObserver(rec)
+	h2.Access(3, 17, Load)
+	want := []string{"load@0x3->-1", "load@0x10->-1"}
+	if len(rec.accesses) != len(want) || rec.accesses[0] != want[0] || rec.accesses[1] != want[1] {
+		t.Fatalf("Access(3, 17) sub-accesses = %v, want %v", rec.accesses, want)
 	}
 }

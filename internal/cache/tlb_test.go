@@ -1,0 +1,213 @@
+package cache
+
+import (
+	"testing"
+
+	"ccl/internal/memsys"
+)
+
+// tlbTestConfig wraps a TLB geometry in a minimal one-level hierarchy
+// so each access costs 1 (L1 hit) or 1+memLat (miss), plus the TLB
+// penalty when the page is unmapped — making the translation charge
+// directly observable in the returned cycle count.
+func tlbTestConfig(tc TLBConfig) Config {
+	return Config{
+		Levels:     []LevelConfig{{Name: "L1", Size: 4096, Assoc: 4, BlockSize: 16, Latency: 1}},
+		MemLatency: 10,
+		TLB:        tc,
+	}
+}
+
+// TestTLBTable drives the array TLB through eviction, associativity,
+// and accounting scenarios. Each step is one demand load; wantMiss
+// asserts whether the step paid the translation penalty.
+func TestTLBTable(t *testing.T) {
+	// ceil is the last mapped byte below the simulated 32-bit address
+	// space ceiling.
+	const ceil = memsys.Addr(memsys.AddrSpaceLimit - 8)
+	cases := []struct {
+		name  string
+		tlb   TLBConfig
+		steps []struct {
+			addr     memsys.Addr
+			wantMiss bool
+		}
+	}{
+		{
+			name: "capacity eviction, fully associative LRU",
+			tlb:  TLBConfig{Entries: 2, PageSize: 4096, Penalty: 30},
+			steps: []struct {
+				addr     memsys.Addr
+				wantMiss bool
+			}{
+				{0x0000, true},  // page 0 in
+				{0x1000, true},  // page 1 in (full)
+				{0x0008, false}, // page 0 refreshed: page 1 is now LRU
+				{0x2000, true},  // page 2 evicts page 1
+				{0x0010, false}, // page 0 survived
+				{0x1008, true},  // page 1 was the victim
+			},
+		},
+		{
+			name: "set-associative: conflict within a set leaves other sets alone",
+			// 4 entries as 2 sets x 2 ways; page number selects the set.
+			tlb: TLBConfig{Entries: 4, PageSize: 4096, Penalty: 30, Ways: 2},
+			steps: []struct {
+				addr     memsys.Addr
+				wantMiss bool
+			}{
+				{0x0000, true},  // page 0 -> set 0
+				{0x2000, true},  // page 2 -> set 0 (full)
+				{0x1000, true},  // page 1 -> set 1
+				{0x4000, true},  // page 4 -> set 0 evicts page 0 (LRU)
+				{0x1008, false}, // set 1 untouched by set 0's conflict
+				{0x2008, false}, // page 2 survived in set 0
+				{0x0008, true},  // page 0 was the victim
+			},
+		},
+		{
+			name: "page-size edge at the 32-bit ceiling",
+			tlb:  TLBConfig{Entries: 4, PageSize: 8192, Penalty: 25},
+			steps: []struct {
+				addr     memsys.Addr
+				wantMiss bool
+			}{
+				{ceil, true},            // highest page maps without overflow
+				{ceil - 8, false},       // same page: no second walk
+				{ceil - 8191, true},     // one byte into the page below
+				{0x0000, true},          // page 0 is distinct from the top page
+				{ceil - 4096, false},    // still inside the top two pages
+				{memsys.Addr(0), false}, // page 0 still resident
+			},
+		},
+		{
+			name: "non-power-of-two page size uses the division path",
+			tlb:  TLBConfig{Entries: 2, PageSize: 3000, Penalty: 20},
+			steps: []struct {
+				addr     memsys.Addr
+				wantMiss bool
+			}{
+				{0, true},     // page 0: [0, 3000)
+				{2999, false}, // last byte of page 0
+				{3000, true},  // first byte of page 1
+				{5999, false}, // last byte of page 1
+				{6000, true},  // page 2 evicts page 0 (LRU)
+				{1, true},     // page 0 re-walked
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := New(tlbTestConfig(tc.tlb))
+			wantMisses := int64(0)
+			for i, s := range tc.steps {
+				cost := h.Access(s.addr, 1, Load)
+				// Strip the cache component: 1 for a hit, 1+MemLatency
+				// for a miss; what remains is the translation charge.
+				base := cost % tc.tlb.Penalty
+				if tc.tlb.Penalty == 0 || cost < tc.tlb.Penalty {
+					base = cost
+				}
+				gotMiss := cost-base >= tc.tlb.Penalty
+				if gotMiss != s.wantMiss {
+					t.Fatalf("step %d (%v): cost %d, TLB miss = %v, want %v",
+						i, s.addr, cost, gotMiss, s.wantMiss)
+				}
+				if s.wantMiss {
+					wantMisses++
+				}
+			}
+			st := h.Stats()
+			if st.TLBMisses != wantMisses {
+				t.Fatalf("TLBMisses = %d, want %d", st.TLBMisses, wantMisses)
+			}
+			if st.TLBAccesses != int64(len(tc.steps)) {
+				t.Fatalf("TLBAccesses = %d, want %d", st.TLBAccesses, len(tc.steps))
+			}
+		})
+	}
+}
+
+// TestTLBMissCostAccounting pins the exact cycle arithmetic: the
+// penalty is charged once per unmapped page, stacks on top of the
+// cache miss cost, and is attributed to stall cycles, not L1 hit
+// cycles.
+func TestTLBMissCostAccounting(t *testing.T) {
+	h := New(tlbTestConfig(TLBConfig{Entries: 4, PageSize: 4096, Penalty: 30}))
+	if got := h.Access(0x1000, 8, Load); got != 1+10+30 {
+		t.Fatalf("cold page + cold block = %d cycles, want 41", got)
+	}
+	if got := h.Access(0x1000, 8, Load); got != 1 {
+		t.Fatalf("warm page + warm block = %d cycles, want 1", got)
+	}
+	if got := h.Access(0x1800, 8, Load); got != 1+10 {
+		t.Fatalf("warm page + cold block = %d cycles, want 11", got)
+	}
+	st := h.Stats()
+	if st.TLBMisses != 1 {
+		t.Fatalf("TLBMisses = %d, want 1", st.TLBMisses)
+	}
+	if st.L1HitCycles != 3 {
+		t.Fatalf("L1HitCycles = %d, want 3 (1 per access)", st.L1HitCycles)
+	}
+	if st.LoadStallCycles != 40+10 {
+		t.Fatalf("LoadStallCycles = %d, want 50", st.LoadStallCycles)
+	}
+}
+
+// TestTLBValidate exercises the config error paths.
+func TestTLBValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		tlb  TLBConfig
+		ok   bool
+	}{
+		{"fully associative default", TLBConfig{Entries: 8, PageSize: 4096, Penalty: 10}, true},
+		{"explicit ways", TLBConfig{Entries: 8, PageSize: 4096, Penalty: 10, Ways: 2}, true},
+		{"ways equal entries", TLBConfig{Entries: 8, PageSize: 4096, Penalty: 10, Ways: 8}, true},
+		{"zero page size", TLBConfig{Entries: 8, Penalty: 10}, false},
+		{"negative penalty", TLBConfig{Entries: 8, PageSize: 4096, Penalty: -1}, false},
+		{"ways not dividing entries", TLBConfig{Entries: 8, PageSize: 4096, Penalty: 10, Ways: 3}, false},
+		{"ways exceeding entries", TLBConfig{Entries: 4, PageSize: 4096, Penalty: 10, Ways: 8}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.tlb.validate()
+			if tc.ok && err != nil {
+				t.Fatalf("validate() = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("validate() accepted an invalid config")
+			}
+		})
+	}
+}
+
+// TestTLBMoveToFrontPreservesLRU checks the hit-path optimization
+// directly: swapping a hit page to the front of its set must never
+// change which page a later insert evicts.
+func TestTLBMoveToFrontPreservesLRU(t *testing.T) {
+	tl := newTLB(TLBConfig{Entries: 3, PageSize: 4096, Penalty: 1})
+	now := int64(0)
+	use := func(page int64) {
+		now++
+		if !tl.touch(page, now) {
+			tl.insert(page, now)
+		}
+	}
+	use(10)
+	use(20)
+	use(30)
+	// Re-touch 10 and 30: 20 is LRU regardless of physical order.
+	use(10)
+	use(30)
+	use(40) // must evict 20
+	if tl.probe(20) >= 0 {
+		t.Fatal("page 20 should have been the LRU victim")
+	}
+	for _, p := range []int64{10, 30, 40} {
+		if tl.probe(p) < 0 {
+			t.Fatalf("page %d should be resident", p)
+		}
+	}
+}

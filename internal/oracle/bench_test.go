@@ -1,0 +1,51 @@
+package oracle
+
+import (
+	"testing"
+
+	"ccl/internal/cache"
+	"ccl/internal/trace"
+)
+
+// BenchmarkTraceReplay replays a 50k-record sweep trace through the
+// production simulator via the batched entry point. This is the
+// headline trace-replay number: the pre-optimization simulator ran it
+// at ~6.3 ms/op (see BENCH_sim.json's reference section).
+func BenchmarkTraceReplay(b *testing.B) {
+	tr := SweepTrace(42, 3, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := cache.New(tr.Config)
+		trace.AccessTrace(h, tr.Records)
+	}
+	b.ReportMetric(float64(len(tr.Records)), "records/op")
+}
+
+// BenchmarkPaperReplay replays the same stream against the paper's
+// §4.1 hierarchy (two levels plus a 64-entry TLB), exercising the TLB
+// path the sweep geometries do not have.
+func BenchmarkPaperReplay(b *testing.B) {
+	tr := SweepTrace(42, 3, 50_000)
+	cfg := cache.PaperHierarchy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := cache.New(cfg)
+		trace.AccessTrace(h, tr.Records)
+	}
+	b.ReportMetric(float64(len(tr.Records)), "records/op")
+}
+
+// BenchmarkOracleReplay replays the stream through the naive reference
+// simulator, as a reminder of what the differential harness pays per
+// geometry and a ceiling the production simulator must stay under.
+func BenchmarkOracleReplay(b *testing.B) {
+	tr := SweepTrace(42, 3, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := New(tr.Config)
+		for _, rec := range tr.Records {
+			o.Access(rec.Addr, rec.Size, rec.Kind.AccessKind())
+		}
+	}
+	b.ReportMetric(float64(len(tr.Records)), "records/op")
+}

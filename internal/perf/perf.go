@@ -1,0 +1,228 @@
+// Package perf is the machine-readable performance harness: it runs
+// the repository's benchmark suites with fixed iteration counts,
+// parses go test's benchmark output into a ccl-perf/v1 report, and
+// gates the numbers against a checked-in baseline (BENCH_sim.json) so
+// a hot-path regression fails visibly instead of silently eroding the
+// "fast as the hardware allows" goal.
+//
+// Policy (see DESIGN.md §9): allocation counts are compared exactly —
+// the demand path is allocation-free by construction and any new
+// allocation is a bug, not noise — while ns/op is compared with a
+// generous relative tolerance because wall-clock benchmarks on shared
+// CI hardware jitter, and B/op and non-zero allocs/op get thin slack
+// for run-to-run size-class and amortized-setup variance.
+package perf
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the report format. Bump on incompatible change.
+const Schema = "ccl-perf/v1"
+
+// DefaultTimeTolerance is the relative ns/op slack allowed before a
+// benchmark is declared regressed: 0.5 means "no worse than 1.5x the
+// baseline". Deliberately generous — the gate exists to catch
+// algorithmic regressions (a reintroduced allocation, an accidental
+// O(ways) → O(sets*ways) scan), not scheduler noise.
+const DefaultTimeTolerance = 0.5
+
+// Entry is one benchmark's measurement.
+type Entry struct {
+	Name        string  `json:"name"`    // e.g. "BenchmarkCacheAccess"
+	Package     string  `json:"package"` // import path, e.g. "ccl/internal/cache"
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Key identifies an entry across reports.
+func (e Entry) Key() string { return e.Package + "." + e.Name }
+
+// Report is a full perf capture.
+type Report struct {
+	Schema string  `json:"schema"`
+	Note   string  `json:"note,omitempty"`
+	Bench  []Entry `json:"benchmarks"`
+	// Reference preserves historically interesting numbers (e.g. the
+	// pre-optimization hot path) for context. Never compared.
+	Reference map[string]Entry `json:"reference,omitempty"`
+}
+
+// Suite is one `go test -bench` invocation: a package and a fixed
+// iteration count so runs are comparable operation-for-operation.
+type Suite struct {
+	Package    string // import path passed to go test
+	Pattern    string // -bench regexp
+	Iterations int64  // -benchtime Nx
+}
+
+// Suites returns the benchmark suites ccperf runs, in order. Iteration
+// counts are fixed (not time-targeted) so every capture measures the
+// same work.
+func Suites() []Suite {
+	return []Suite{
+		// The repository-level suite: end-to-end experiment benchmarks,
+		// including the headline BenchmarkCacheAccess.
+		{Package: "ccl", Pattern: ".", Iterations: 20},
+		// The hot path under a microscope: per-regime demand-access
+		// microbenchmarks.
+		{Package: "ccl/internal/cache", Pattern: ".", Iterations: 200_000},
+		// Trace replay through the batched entry point and the naive
+		// reference ceiling.
+		{Package: "ccl/internal/oracle", Pattern: "Replay", Iterations: 20},
+	}
+}
+
+// suiteIterations returns the fixed count for pkg, so the root suite's
+// small-iteration experiments and the microbenchmarks can differ.
+func suiteIterations(pkg string) int64 {
+	for _, s := range Suites() {
+		if s.Package == pkg {
+			return s.Iterations
+		}
+	}
+	return 0
+}
+
+// CacheAccessIterations is the fixed count used for the root suite's
+// BenchmarkCacheAccess override: the per-access benchmark is so short
+// that 20 iterations would round to nothing.
+const CacheAccessIterations = 2_000_000
+
+// ParseBench parses `go test -bench -benchmem` output for one package
+// into entries. Lines that are not benchmark results are skipped.
+func ParseBench(pkg string, output string) ([]Entry, error) {
+	var entries []Entry
+	sc := bufio.NewScanner(strings.NewReader(output))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-8  N  12.3 ns/op [ extra metrics ... ]  B B/op  A allocs/op
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("perf: bad iteration count in %q: %v", line, err)
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("perf: bad ns/op in %q: %v", line, err)
+		}
+		e := Entry{Name: name, Package: pkg, Iterations: iters, NsPerOp: ns}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				continue // non-integer custom metric (e.g. records/op)
+			}
+			switch fields[i+1] {
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			}
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perf: scanning bench output: %v", err)
+	}
+	return entries, nil
+}
+
+// NewReport wraps entries in a schema-stamped report, sorted by key so
+// encodings are stable.
+func NewReport(entries []Entry) Report {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key() < entries[j].Key() })
+	return Report{Schema: Schema, Bench: entries}
+}
+
+// Encode renders the report as indented JSON with a trailing newline.
+func (r Report) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeReport parses and schema-checks a report.
+func DecodeReport(data []byte) (Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("perf: parsing report: %v", err)
+	}
+	if r.Schema != Schema {
+		return Report{}, fmt.Errorf("perf: schema %q, want %q", r.Schema, Schema)
+	}
+	return r, nil
+}
+
+// Violation is one failed gate.
+type Violation struct {
+	Key    string
+	Detail string
+}
+
+func (v Violation) String() string { return v.Key + ": " + v.Detail }
+
+// Compare gates got against base. Allocation and byte counts must not
+// exceed the baseline at all; ns/op may exceed it by the relative
+// tolerance. Benchmarks present in the baseline but missing from got
+// are violations (a silently deleted benchmark is how coverage rots);
+// new benchmarks in got are fine.
+func Compare(got, base Report, timeTolerance float64) []Violation {
+	if timeTolerance <= 0 {
+		timeTolerance = DefaultTimeTolerance
+	}
+	byKey := make(map[string]Entry, len(got.Bench))
+	for _, e := range got.Bench {
+		byKey[e.Key()] = e
+	}
+	var out []Violation
+	for _, want := range base.Bench {
+		g, ok := byKey[want.Key()]
+		if !ok {
+			out = append(out, Violation{want.Key(), "benchmark missing from this run"})
+			continue
+		}
+		// A zero-alloc baseline is a hard invariant: the first new
+		// allocation on the hot path fails the gate. Non-zero baselines
+		// (the macro experiment benchmarks) get 1% slack, because a
+		// one-time setup allocation amortized over few iterations can
+		// flip the rounded per-op count by one.
+		if limit := want.AllocsPerOp + want.AllocsPerOp/100; g.AllocsPerOp > limit {
+			out = append(out, Violation{want.Key(),
+				fmt.Sprintf("allocs/op %d > baseline %d", g.AllocsPerOp, want.AllocsPerOp)})
+		}
+		// Allocation counts are deterministic, but bytes jitter slightly
+		// run-to-run (map bucket growth, size-class rounding), so B/op
+		// gets a sliver of slack where allocs/op gets none.
+		if limit := want.BytesPerOp + want.BytesPerOp/10 + 64; g.BytesPerOp > limit {
+			out = append(out, Violation{want.Key(),
+				fmt.Sprintf("B/op %d > baseline %d +10%%", g.BytesPerOp, want.BytesPerOp)})
+		}
+		if limit := want.NsPerOp * (1 + timeTolerance); g.NsPerOp > limit {
+			out = append(out, Violation{want.Key(),
+				fmt.Sprintf("ns/op %.1f > baseline %.1f +%d%%", g.NsPerOp, want.NsPerOp, int(timeTolerance*100))})
+		}
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: ccl/internal/cache
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAccessL1Hit-8     	  200000	        11.70 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTraceReplay 	      20	   2992919 ns/op	     50000 records/op	    3096 B/op	       6 allocs/op
+BenchmarkNoMem-8   	 1000000	         5.00 ns/op
+PASS
+ok  	ccl/internal/cache	0.053s
+`
+
+func TestParseBench(t *testing.T) {
+	entries, err := ParseBench("ccl/internal/cache", sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(entries))
+	}
+	e := entries[0]
+	if e.Name != "BenchmarkAccessL1Hit" || e.Iterations != 200000 || e.NsPerOp != 11.7 ||
+		e.BytesPerOp != 0 || e.AllocsPerOp != 0 {
+		t.Fatalf("entry 0 parsed wrong: %+v", e)
+	}
+	// Custom metrics (records/op) must not be mistaken for B/op.
+	r := entries[1]
+	if r.Name != "BenchmarkTraceReplay" || r.BytesPerOp != 3096 || r.AllocsPerOp != 6 {
+		t.Fatalf("entry 1 parsed wrong: %+v", r)
+	}
+	// A line without -benchmem columns still parses.
+	n := entries[2]
+	if n.Name != "BenchmarkNoMem" || n.NsPerOp != 5.0 || n.BytesPerOp != 0 {
+		t.Fatalf("entry 2 parsed wrong: %+v", n)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	entries, err := ParseBench("p", sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReport(entries)
+	enc, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeReport(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Schema != Schema || len(dec.Bench) != len(rep.Bench) {
+		t.Fatalf("round trip lost data: %+v", dec)
+	}
+	if _, err := DecodeReport([]byte(`{"schema":"other/v9"}`)); err == nil {
+		t.Fatal("DecodeReport accepted a wrong schema")
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := NewReport([]Entry{
+		{Name: "BenchmarkA", Package: "p", NsPerOp: 100, AllocsPerOp: 0, BytesPerOp: 0},
+		{Name: "BenchmarkB", Package: "p", NsPerOp: 100, AllocsPerOp: 5, BytesPerOp: 64},
+		{Name: "BenchmarkC", Package: "p", NsPerOp: 100, AllocsPerOp: 1000, BytesPerOp: 4096},
+	})
+	okC := Entry{Name: "BenchmarkC", Package: "p", NsPerOp: 100, AllocsPerOp: 1000, BytesPerOp: 4096}
+	cases := []struct {
+		name string
+		got  []Entry
+		want int // violation count
+	}{
+		{"identical", []Entry{
+			{Name: "BenchmarkA", Package: "p", NsPerOp: 100},
+			{Name: "BenchmarkB", Package: "p", NsPerOp: 100, AllocsPerOp: 5, BytesPerOp: 64},
+			okC,
+		}, 0},
+		{"within tolerance", []Entry{
+			{Name: "BenchmarkA", Package: "p", NsPerOp: 140},
+			{Name: "BenchmarkB", Package: "p", NsPerOp: 60, AllocsPerOp: 3, BytesPerOp: 10},
+			okC,
+		}, 0},
+		{"time regression", []Entry{
+			{Name: "BenchmarkA", Package: "p", NsPerOp: 151},
+			{Name: "BenchmarkB", Package: "p", NsPerOp: 100, AllocsPerOp: 5, BytesPerOp: 64},
+			okC,
+		}, 1},
+		{"new allocation on a zero baseline is never tolerated", []Entry{
+			{Name: "BenchmarkA", Package: "p", NsPerOp: 100, AllocsPerOp: 1, BytesPerOp: 8},
+			{Name: "BenchmarkB", Package: "p", NsPerOp: 100, AllocsPerOp: 5, BytesPerOp: 64},
+			okC,
+		}, 1},
+		{"macro alloc jitter within one percent", []Entry{
+			{Name: "BenchmarkA", Package: "p", NsPerOp: 100},
+			{Name: "BenchmarkB", Package: "p", NsPerOp: 100, AllocsPerOp: 5, BytesPerOp: 64},
+			{Name: "BenchmarkC", Package: "p", NsPerOp: 100, AllocsPerOp: 1009, BytesPerOp: 4200},
+		}, 0},
+		{"macro alloc growth past one percent", []Entry{
+			{Name: "BenchmarkA", Package: "p", NsPerOp: 100},
+			{Name: "BenchmarkB", Package: "p", NsPerOp: 100, AllocsPerOp: 5, BytesPerOp: 64},
+			{Name: "BenchmarkC", Package: "p", NsPerOp: 100, AllocsPerOp: 1011, BytesPerOp: 4096},
+		}, 1},
+		{"byte growth past the slack", []Entry{
+			{Name: "BenchmarkA", Package: "p", NsPerOp: 100, BytesPerOp: 100},
+			{Name: "BenchmarkB", Package: "p", NsPerOp: 100, AllocsPerOp: 5, BytesPerOp: 64},
+			okC,
+		}, 1},
+		{"missing benchmark", []Entry{
+			{Name: "BenchmarkA", Package: "p", NsPerOp: 100},
+			okC,
+		}, 1},
+		{"extra benchmark is fine", []Entry{
+			{Name: "BenchmarkA", Package: "p", NsPerOp: 100},
+			{Name: "BenchmarkB", Package: "p", NsPerOp: 100, AllocsPerOp: 5, BytesPerOp: 64},
+			okC,
+			{Name: "BenchmarkD", Package: "p", NsPerOp: 9999, AllocsPerOp: 99},
+		}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			vs := Compare(NewReport(tc.got), base, 0.5)
+			if len(vs) != tc.want {
+				t.Fatalf("Compare found %d violations, want %d: %v", len(vs), tc.want, vs)
+			}
+		})
+	}
+}
+
+// TestCheckedInBaseline validates the repository's BENCH_sim.json: it
+// must be schema-valid, allocation-free on the demand path, and show
+// the tentpole's >=2x improvement over the recorded pre-optimization
+// reference.
+func TestCheckedInBaseline(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_sim.json"))
+	if err != nil {
+		t.Fatalf("reading checked-in baseline: %v", err)
+	}
+	rep, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(key string) Entry {
+		for _, e := range rep.Bench {
+			if e.Key() == key {
+				return e
+			}
+		}
+		t.Fatalf("baseline is missing %s", key)
+		return Entry{}
+	}
+	hot := find("ccl.BenchmarkCacheAccess")
+	if hot.AllocsPerOp != 0 || hot.BytesPerOp != 0 {
+		t.Fatalf("BenchmarkCacheAccess baseline allocates: %+v", hot)
+	}
+	ref, ok := rep.Reference["ccl.BenchmarkCacheAccess.pre-optimization"]
+	if !ok {
+		t.Fatal("baseline lost the pre-optimization reference for BenchmarkCacheAccess")
+	}
+	if hot.NsPerOp*2 > ref.NsPerOp {
+		t.Fatalf("hot path no longer 2x the pre-optimization simulator: %.2f vs %.2f ns/op",
+			hot.NsPerOp, ref.NsPerOp)
+	}
+	replay := find("ccl/internal/oracle.BenchmarkTraceReplay")
+	refReplay, ok := rep.Reference["ccl/internal/oracle.BenchmarkTraceReplay.pre-optimization"]
+	if !ok {
+		t.Fatal("baseline lost the pre-optimization reference for BenchmarkTraceReplay")
+	}
+	if replay.NsPerOp*2 > refReplay.NsPerOp {
+		t.Fatalf("trace replay no longer 2x the pre-optimization simulator: %.0f vs %.0f ns/op",
+			replay.NsPerOp, refReplay.NsPerOp)
+	}
+	// Every microbenchmark of the demand path is allocation-free.
+	for _, e := range rep.Bench {
+		if e.Package == "ccl/internal/cache" && e.AllocsPerOp != 0 {
+			t.Errorf("%s allocates %d/op in the baseline", e.Key(), e.AllocsPerOp)
+		}
+	}
+}
+
+// TestSuitesAreWellFormed keeps the suite list sane: positive fixed
+// iteration counts and unique packages (the parser keys entries by
+// package, so a duplicate would silently merge).
+func TestSuitesAreWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Suites() {
+		if s.Iterations <= 0 {
+			t.Errorf("suite %s has no fixed iteration count", s.Package)
+		}
+		if s.Pattern == "" {
+			t.Errorf("suite %s has an empty bench pattern", s.Package)
+		}
+		if seen[s.Package] {
+			t.Errorf("suite %s appears twice", s.Package)
+		}
+		seen[s.Package] = true
+		if !strings.HasPrefix(s.Package, "ccl") {
+			t.Errorf("suite %s is outside the module", s.Package)
+		}
+	}
+	if suiteIterations("ccl") <= 0 {
+		t.Error("root suite missing")
+	}
+}

@@ -1,0 +1,35 @@
+package trace
+
+import "ccl/internal/cache"
+
+// AccessTrace replays recs against h as demand accesses and returns
+// the total cycles charged. It is the batched entry point the oracle
+// sweep and the bench jobs drive: replaying a slice here is equivalent
+// to calling h.Access once per record (FuzzBatchedAccess pins the
+// equivalence), but the loop lives on this side of the package
+// boundary so a replay is one call instead of one call per record,
+// and future batching optimizations have a single place to land.
+//
+// It lives in this package rather than on cache.Hierarchy because the
+// dependency points this way: a Trace carries its cache.Config, so
+// cache cannot import trace.
+func AccessTrace(h *cache.Hierarchy, recs []Record) int64 {
+	var total int64
+	for _, r := range recs {
+		total += h.Access(r.Addr, r.Size, r.Kind.AccessKind())
+	}
+	return total
+}
+
+// Replay constructs a fresh hierarchy from the trace's own geometry,
+// replays every record through it, and returns the hierarchy for
+// inspection along with the total cycles charged. The geometry is
+// validated first — cache.New treats an invalid config as a caller
+// bug and panics, but a Trace may have come from disk.
+func Replay(t Trace) (*cache.Hierarchy, int64, error) {
+	if err := t.Config.Validate(); err != nil {
+		return nil, 0, err
+	}
+	h := cache.New(t.Config)
+	return h, AccessTrace(h, t.Records), nil
+}
