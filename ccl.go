@@ -30,6 +30,8 @@
 package ccl
 
 import (
+	"io"
+
 	"ccl/internal/cache"
 	"ccl/internal/cclerr"
 	"ccl/internal/ccmalloc"
@@ -39,6 +41,7 @@ import (
 	"ccl/internal/machine"
 	"ccl/internal/memsys"
 	"ccl/internal/model"
+	"ccl/internal/profile"
 	"ccl/internal/sim"
 	"ccl/internal/telemetry"
 	"ccl/internal/trees"
@@ -277,3 +280,45 @@ func AttachTelemetry(m *Machine) *Collector { return telemetry.Attach(m.Cache) }
 
 // NewRegistry returns an empty counter registry.
 func NewRegistry() *Registry { return telemetry.NewRegistry() }
+
+// Profiling (field-level miss attribution, phase time series, pprof
+// export; see DESIGN.md §10).
+type (
+	// Profiler samples cache misses down to structure.field via
+	// registered field maps and keeps a windowed epoch series of
+	// miss rates. It wraps its own Collector, so attaching it gives
+	// the full telemetry view too.
+	Profiler = profile.Profiler
+	// ProfileConfig tunes the sampling period and epoch windowing.
+	ProfileConfig = profile.Config
+	// Profile is a Profiler's summary in the ccl-profile/v1 schema,
+	// with ASCII rendering and pprof (profile.proto) export.
+	Profile = profile.Report
+	// RegionMap labels address ranges for attribution; structures
+	// register their elements and field maps here.
+	RegionMap = telemetry.RegionMap
+	// FieldMap describes one structure's member layout — the key
+	// that turns per-region miss counts into per-field ones.
+	FieldMap = layout.FieldMap
+	// Field is one named member of a FieldMap.
+	Field = layout.Field
+)
+
+// AttachProfiler installs a fresh Profiler as the machine's cache
+// observer and returns it. Detach with m.Cache.SetObserver(nil); a
+// detached (or never-attached) machine pays nothing.
+func AttachProfiler(m *Machine, cfg ProfileConfig) *Profiler {
+	return profile.Attach(m.Cache, cfg)
+}
+
+// NewFieldMap validates a structure's member layout for field-level
+// attribution; it fails with ErrInvalidArg on overlapping or
+// out-of-bounds fields.
+func NewFieldMap(structName string, size int64, fields ...Field) (FieldMap, error) {
+	return layout.NewFieldMap(structName, size, fields...)
+}
+
+// WriteProfile writes a profile in the ccl-profile/v1 JSON schema —
+// the same format `ccbench -profile` exports. The pprof form is
+// rep.WritePprof.
+func WriteProfile(w io.Writer, rep Profile) error { return profile.WriteJSON(w, rep) }

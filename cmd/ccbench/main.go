@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	ccbench [-full] [-list] [-json path] [-parallel n] [-fault point[:n]] [experiment ...]
+//	ccbench [-full] [-list] [-json path] [-profile dir] [-ndjson] [-parallel n] [-fault point[:n]] [experiment ...]
 //
 // Run ccbench -list for the available experiment ids; "all" (the
 // default) runs every experiment in paper order. -full runs
@@ -11,6 +11,17 @@
 // table that ran as a machine-readable report (schema in DESIGN.md
 // "Telemetry"), the format committed BENCH_*.json files use. Flags
 // may appear before or after experiment ids.
+//
+// -profile dir exports every per-workload field profile the run
+// produced (today: the fieldprof experiment) into dir, one
+// <workload>.json in the ccl-profile/v1 schema plus one
+// <workload>.pb.gz in pprof's profile.proto format, readable with
+// `go tool pprof -top dir/<workload>.pb.gz`. With -profile and no
+// experiment ids, the run defaults to the fieldprof experiment
+// instead of "all". -ndjson replaces the human progress lines on
+// stderr with one JSON object per line (events "experiment" and
+// "run"), so long runs are machine-observable live; tables still
+// render to stdout.
 //
 // -parallel bounds the worker pool the experiments' jobs run on; the
 // default is GOMAXPROCS and -parallel 1 is the serial reference run.
@@ -35,16 +46,21 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"ccl/internal/bench"
 	"ccl/internal/faults"
+	"ccl/internal/profile"
 	"ccl/internal/sim"
 )
 
@@ -58,6 +74,7 @@ func reorderArgs(args []string) ([]string, error) {
 		"-json": true, "--json": true,
 		"-fault": true, "--fault": true,
 		"-parallel": true, "--parallel": true,
+		"-profile": true, "--profile": true,
 	}
 	var flags, pos []string
 	for i := 0; i < len(args); i++ {
@@ -106,10 +123,12 @@ func main() {
 	full := flag.Bool("full", false, "run paper-scale workloads (slow)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	jsonPath := flag.String("json", "", "also write the results as a JSON report to `path`")
+	profileDir := flag.String("profile", "", "export field profiles (ccl-profile/v1 JSON + pprof .pb.gz) into `dir`")
+	ndjson := flag.Bool("ndjson", false, "stream progress to stderr as JSON lines instead of human text")
 	fault := flag.String("fault", "", "inject a fault at `point[:n]` (e.g. arena-grow:3); failures are recorded, not fatal")
 	parallel := flag.Int("parallel", 0, "worker pool size; 0 means GOMAXPROCS, 1 is strictly serial")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ccbench [-full] [-list] [-json path] [-parallel n] [-fault point[:n]] [experiment ...]\navailable: all %v\n", bench.IDs())
+		fmt.Fprintf(os.Stderr, "usage: ccbench [-full] [-list] [-json path] [-profile dir] [-ndjson] [-parallel n] [-fault point[:n]] [experiment ...]\navailable: all %v\n", bench.IDs())
 	}
 	args, err := reorderArgs(os.Args[1:])
 	if err != nil {
@@ -144,7 +163,13 @@ func main() {
 
 	ids := flag.Args()
 	if len(ids) == 0 {
-		ids = []string{"all"}
+		if *profileDir != "" {
+			// Profiling without explicit ids means the profiler
+			// showcase, not a full paper regeneration.
+			ids = []string{"fieldprof"}
+		} else {
+			ids = []string{"all"}
+		}
 	}
 
 	var specs []bench.Spec
@@ -173,6 +198,15 @@ func main() {
 		Parallel: *parallel,
 		NewSim:   newSim,
 		OnProgress: func(p bench.Progress) {
+			if *ndjson {
+				emitNDJSON(os.Stderr, map[string]any{
+					"event": "experiment", "id": p.ID,
+					"done": p.Done, "total": p.Total,
+					"jobs": p.Jobs, "failed": p.Failed, "skipped": p.Skipped,
+					"wall_us": p.Wall.Microseconds(),
+				})
+				return
+			}
 			if p.Skipped == p.Jobs {
 				fmt.Fprintf(os.Stderr, "ccbench: [%d/%d] %s skipped (interrupted)\n", p.Done, p.Total, p.ID)
 				return
@@ -200,6 +234,25 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "ccbench: %s failed (%s): %s\n", where, f.Class, f.Error)
 	}
+	if *ndjson {
+		emitNDJSON(os.Stderr, map[string]any{
+			"event": "run", "experiments": len(rep.Experiments),
+			"failures": len(rep.Failures), "interrupted": rep.Interrupted,
+		})
+	}
+
+	if *profileDir != "" {
+		n, err := writeProfiles(*profileDir, rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
+			os.Exit(1)
+		}
+		if n == 0 {
+			fmt.Fprintf(os.Stderr, "ccbench: -profile %s: no experiment produced field profiles (try fieldprof)\n", *profileDir)
+		} else {
+			fmt.Printf("wrote %d field profile(s) (%s JSON + pprof .pb.gz) to %s\n", n, profile.Schema, *profileDir)
+		}
+	}
 
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
@@ -221,4 +274,65 @@ func main() {
 	if rep.Interrupted {
 		fmt.Fprintln(os.Stderr, "ccbench: interrupted; partial results flushed")
 	}
+}
+
+// emitNDJSON writes one machine-readable progress line. Marshaling a
+// map keeps the schema flexible; encoding/json sorts the keys, so the
+// lines are deterministic.
+func emitNDJSON(w *os.File, obj map[string]any) {
+	b, err := json.Marshal(obj)
+	if err != nil {
+		fmt.Fprintf(w, `{"event":"error","error":%q}`+"\n", err.Error())
+		return
+	}
+	fmt.Fprintf(w, "%s\n", b)
+}
+
+// writeProfiles exports every per-workload profile in the report into
+// dir: <workload>.json (ccl-profile/v1) and <workload>.pb.gz
+// (profile.proto, gzip). Workloads are written in sorted order so the
+// directory contents are reproducible; the count of workloads written
+// is returned.
+func writeProfiles(dir string, rep bench.Report) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, t := range rep.Experiments {
+		names := make([]string, 0, len(t.Profiles))
+		for name := range t.Profiles {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			p := t.Profiles[name]
+			if err := writeProfileFile(filepath.Join(dir, name+".json"), func(w io.Writer) error {
+				return profile.WriteJSON(w, p)
+			}); err != nil {
+				return n, err
+			}
+			if err := writeProfileFile(filepath.Join(dir, name+".pb.gz"), p.WritePprof); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, nil
+}
+
+// writeProfileFile creates path and streams one export into it,
+// surfacing close errors (the gzip trailer lands on Close's flush).
+func writeProfileFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("closing %s: %w", path, err)
+	}
+	return nil
 }

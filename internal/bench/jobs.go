@@ -59,6 +59,7 @@ func Registry() []Spec {
 		ablationIntervalSpec(),
 		oracleSpec(),
 		replaySpec(),
+		fieldprofSpec(),
 	}
 }
 

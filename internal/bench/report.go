@@ -9,6 +9,7 @@ import (
 	"io"
 	"strings"
 
+	"ccl/internal/profile"
 	"ccl/internal/telemetry"
 )
 
@@ -25,6 +26,10 @@ type Table struct {
 	// by workload phase (e.g. "bst-base", "ctree"). Nil for
 	// experiments that only tabulate.
 	Telemetry map[string]telemetry.Report `json:"telemetry,omitempty"`
+	// Profiles carries the fieldprof experiment's ccl-profile/v1
+	// reports, keyed by workload. Nil for unprofiled experiments, so
+	// earlier ccl-bench/v1 readers (and goldens) are unaffected.
+	Profiles map[string]profile.Report `json:"profiles,omitempty"`
 }
 
 // Render writes the table as aligned ASCII. Rows may be ragged: cells

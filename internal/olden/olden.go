@@ -22,6 +22,7 @@ import (
 	"ccl/internal/machine"
 	"ccl/internal/memsys"
 	"ccl/internal/sim"
+	"ccl/internal/telemetry"
 )
 
 // Variant is one bar of Figure 7.
@@ -169,6 +170,11 @@ type Env struct {
 	M       *machine.Machine
 	Alloc   heap.Allocator
 	Variant Variant
+	// Profile, when non-nil, asks the benchmark to register its live
+	// structures (one range per element, plus field maps) with this
+	// region map after construction, enabling field-level miss
+	// profiling. Nil — the default — costs the benchmarks nothing.
+	Profile *telemetry.RegionMap
 }
 
 // NewEnv builds a benchmark environment in a fresh, private run

@@ -11,9 +11,11 @@ package treeadd
 import (
 	"ccl/internal/ccmorph"
 	"ccl/internal/heap"
+	"ccl/internal/layout"
 	"ccl/internal/machine"
 	"ccl/internal/memsys"
 	"ccl/internal/olden"
+	"ccl/internal/telemetry"
 )
 
 // Node layout: value uint32 at +0, left at +4, right at +8 (4-byte
@@ -81,6 +83,10 @@ func Run(env olden.Env, cfg Config) olden.Result {
 		root = newRoot
 	}
 
+	if env.Profile != nil {
+		RegisterNodes(env.Profile, "treeadd-node", m, root)
+	}
+
 	var total uint64
 	sw := env.Variant.SW()
 	var sum func(n memsys.Addr) uint64
@@ -109,6 +115,36 @@ func Run(env olden.Env, cfg Config) olden.Result {
 		HeapBytes: env.Alloc.HeapBytes(),
 		Check:     total,
 	}
+}
+
+// FieldMap describes the treeadd element layout for field-level miss
+// attribution.
+func FieldMap() layout.FieldMap {
+	return layout.MustFieldMap("treeadd-node", NodeSize,
+		layout.Field{Name: "value", Offset: offValue, Size: 4},
+		layout.Field{Name: "left", Offset: offLeft, Size: 4},
+		layout.Field{Name: "right", Offset: offRight, Size: 4},
+	)
+}
+
+// RegisterNodes registers the live tree under label — one range per
+// node, walked host-side through the arena — and attaches the field
+// map. Run calls it when env.Profile is set; callers profiling a tree
+// they built directly can use it too.
+func RegisterNodes(rm *telemetry.RegionMap, label string, m *machine.Machine, root memsys.Addr) {
+	var addrs []memsys.Addr
+	var walk func(n memsys.Addr)
+	walk = func(n memsys.Addr) {
+		if n.IsNil() {
+			return
+		}
+		addrs = append(addrs, n)
+		walk(m.Arena.LoadAddr(n.Add(offLeft)))
+		walk(m.Arena.LoadAddr(n.Add(offRight)))
+	}
+	walk(root)
+	rm.RegisterElems(label, addrs, NodeSize)
+	rm.SetFieldMap(label, FieldMap())
 }
 
 // Layout is the ccmorph template for treeadd nodes.

@@ -77,6 +77,9 @@ func Suites() []Suite {
 		// Trace replay through the batched entry point and the naive
 		// reference ceiling.
 		{Package: "ccl/internal/oracle", Pattern: "Replay", Iterations: 20},
+		// The profiler's observer path: full attribution, sampled, and
+		// the collector-only floor. All must stay allocation-free.
+		{Package: "ccl/internal/profile", Pattern: ".", Iterations: 200_000},
 	}
 }
 

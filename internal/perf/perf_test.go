@@ -176,11 +176,25 @@ func TestCheckedInBaseline(t *testing.T) {
 		t.Fatalf("trace replay no longer 2x the pre-optimization simulator: %.0f vs %.0f ns/op",
 			replay.NsPerOp, refReplay.NsPerOp)
 	}
-	// Every microbenchmark of the demand path is allocation-free.
+	// Every microbenchmark of the demand path is allocation-free, and
+	// so is the whole profiler observer path layered onto it.
 	for _, e := range rep.Bench {
-		if e.Package == "ccl/internal/cache" && e.AllocsPerOp != 0 {
-			t.Errorf("%s allocates %d/op in the baseline", e.Key(), e.AllocsPerOp)
+		switch e.Package {
+		case "ccl/internal/cache", "ccl/internal/profile":
+			if e.AllocsPerOp != 0 {
+				t.Errorf("%s allocates %d/op in the baseline", e.Key(), e.AllocsPerOp)
+			}
 		}
+	}
+	// The profiler-off baseline: attaching nothing must keep the
+	// demand path at its recorded cost, and the baseline must carry
+	// the three profiler benchmarks for -check to gate against.
+	for _, key := range []string{
+		"ccl/internal/profile.BenchmarkProfiledAccess",
+		"ccl/internal/profile.BenchmarkProfiledAccessSampled",
+		"ccl/internal/profile.BenchmarkCollectorOnlyAccess",
+	} {
+		find(key)
 	}
 }
 

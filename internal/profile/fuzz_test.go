@@ -1,0 +1,57 @@
+package profile
+
+import (
+	"reflect"
+	"testing"
+
+	"ccl/internal/cache"
+	"ccl/internal/trace"
+)
+
+// FuzzProfilerDifferential is the observer-transparency oracle over
+// arbitrary geometries and access sequences: for any fuzz-derived
+// trace, replaying with a profiler attached — at two different
+// sampling rates — must reproduce the unobserved run's cycles and
+// stats exactly, and the two profiled runs must agree with each other
+// on everything sampling cannot thin (accesses and the epoch series).
+func FuzzProfilerDifferential(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4})
+	f.Add([]byte{255, 254, 253, 252, 251, 250, 249, 7, 7, 7, 7, 8, 8, 8, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, ok := trace.FromBytes(data)
+		if !ok {
+			t.Skip()
+		}
+		_, baseCycles, err := trace.Replay(tr)
+		if err != nil {
+			t.Skip()
+		}
+		base := cache.New(tr.Config)
+		trace.AccessTrace(base, tr.Records)
+		baseStats := base.Stats()
+
+		var reports []Report
+		for _, every := range []int64{1, 3} {
+			h := cache.New(tr.Config)
+			p := Attach(h, Config{SampleEvery: every, EpochLen: 32, MaxEpochs: 4})
+			p.Regions().Register("lo", 0, 1<<12)
+			p.Regions().Register("hi", 1<<13, 1<<12)
+			cycles := trace.AccessTrace(h, tr.Records)
+			if cycles != baseCycles {
+				t.Fatalf("SampleEvery=%d: cycles %d, unobserved %d", every, cycles, baseCycles)
+			}
+			if !reflect.DeepEqual(h.Stats(), baseStats) {
+				t.Fatalf("SampleEvery=%d: stats diverged from unobserved run", every)
+			}
+			reports = append(reports, p.Report())
+		}
+		a, b := reports[0], reports[1]
+		if a.Accesses != b.Accesses {
+			t.Fatalf("access counts diverged across sampling rates: %d vs %d", a.Accesses, b.Accesses)
+		}
+		if !reflect.DeepEqual(a.Epochs, b.Epochs) {
+			t.Fatalf("epoch series diverged across sampling rates:\n%+v\nvs\n%+v", a.Epochs, b.Epochs)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+const goldenProfilePath = "testdata/profile_golden.json"
+
+// goldenReport is a fixed synthetic report exercising every field of
+// the ccl-profile/v1 schema: envelope, struct/field profiles with the
+// pseudo-buckets, and the epoch series. Values are arbitrary; the
+// structure is the contract.
+func goldenReport() Report {
+	return Report{
+		Schema:      Schema,
+		SampleEvery: 3,
+		Accesses:    9000,
+		Sampled:     3000,
+		EpochLen:    2048,
+		Structs: []StructProfile{
+			{
+				Label:  "bst-nodes",
+				Struct: "bst-node",
+				Fields: []FieldProfile{
+					{Field: "key", Offset: 0, Size: 4, Accesses: 1500, L1Misses: 700,
+						LLMisses: 420, Compulsory: 20, Capacity: 150, Conflict: 250,
+						StallCycles: 27300, Hot: true},
+					{Field: "left", Offset: 4, Size: 4, Accesses: 800, L1Misses: 300,
+						LLMisses: 60, Compulsory: 5, Capacity: 40, Conflict: 15,
+						StallCycles: 4200, Hot: true},
+					{Field: "value", Offset: 12, Size: 8, Accesses: 100, L1Misses: 10,
+						LLMisses: 2, Compulsory: 2, StallCycles: 130},
+					{Field: Padding, Offset: -1, Size: -1, Accesses: 3},
+				},
+			},
+			{
+				Label: "(other)",
+				Fields: []FieldProfile{
+					{Field: WholeStruct, Offset: -1, Size: -1, Accesses: 597, L1Misses: 40,
+						LLMisses: 8, Compulsory: 8, StallCycles: 520},
+				},
+			},
+		},
+		Epochs: []Epoch{
+			{Accesses: 2048, L1Misses: 900, LLMisses: 400, Compulsory: 30, Capacity: 170,
+				Conflict: 200, HotSet: 5, HotSetMisses: 120, SetsTouched: 14},
+			{Accesses: 2048, L1Misses: 150, LLMisses: 12, Compulsory: 0, Capacity: 6,
+				Conflict: 6, HotSet: 2, HotSetMisses: 4, SetsTouched: 7},
+			{}, // a zero-access window (HotSet 0 here only because the fixture zero value is 0)
+		},
+	}
+}
+
+// TestGoldenProfileSchema locks the ccl-profile/v1 encoding with a
+// checked-in golden file, byte-identical both on encode and on a
+// decode → re-encode round trip. A deliberate schema change means
+// regenerating with GOLDEN_UPDATE=1 and bumping Schema.
+func TestGoldenProfileSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, goldenReport()); err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		if err := os.WriteFile(goldenProfilePath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenProfilePath)
+	}
+	golden, err := os.ReadFile(goldenProfilePath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with GOLDEN_UPDATE=1)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Fatalf("ccl-profile/v1 output drifted from %s (bump Schema and regenerate if intended)\ngot:\n%s\nwant:\n%s",
+			goldenProfilePath, buf.Bytes(), golden)
+	}
+
+	var rep Report
+	if err := json.Unmarshal(golden, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != Schema {
+		t.Fatalf("golden schema %q, code says %q", rep.Schema, Schema)
+	}
+	var again bytes.Buffer
+	if err := WriteJSON(&again, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), golden) {
+		t.Fatal("decode -> re-encode of the golden profile is not byte-identical: schema has lossy fields")
+	}
+}

@@ -1,0 +1,23 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON emits the report as a standalone ccl-profile/v1 document
+// (indented JSON plus a trailing newline) — the format `ccbench
+// -profile` writes and the golden test locks.
+func WriteJSON(w io.Writer, rep Report) error {
+	rep.Schema = Schema
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("profile: encode report: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("profile: write report: %w", err)
+	}
+	return nil
+}

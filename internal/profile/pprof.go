@@ -1,0 +1,210 @@
+package profile
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// pprof export: the sampled field profile encoded as a gzip-compressed
+// profile.proto, the format `go tool pprof` consumes. Each attribution
+// bucket becomes one sample with the synthetic call stack
+//
+//	structure.field        <- leaf ("function")
+//	structure              <- caller
+//
+// and values [accesses, ll_misses, stall_cycles], so
+// `go tool pprof -top profile.pb.gz` ranks fields by miss traffic and
+// the flamegraph groups fields under their structure.
+//
+// The encoder is hand-rolled — ~a dozen varint/length-delimited fields
+// of the stable profile.proto schema — to keep the module free of a
+// protobuf dependency. Field numbers follow
+// github.com/google/pprof/proto/profile.proto. Output is
+// deterministic: time_nanos is omitted and the gzip header carries no
+// mod time, so byte-identical reports encode byte-identically.
+
+// profile.proto field numbers (message Profile).
+const (
+	profSampleType  = 1
+	profSample      = 2
+	profLocation    = 4
+	profFunction    = 5
+	profStringTable = 6
+	profPeriodType  = 11
+	profPeriod      = 12
+
+	vtType = 1 // ValueType.type
+	vtUnit = 2 // ValueType.unit
+
+	sampleLocationID = 1 // Sample.location_id (packed uint64)
+	sampleValue      = 2 // Sample.value (packed int64)
+
+	locID   = 1 // Location.id
+	locLine = 4 // Location.line
+
+	lineFunctionID = 1 // Line.function_id
+
+	funcID       = 1 // Function.id
+	funcName     = 2 // Function.name (string table index)
+	funcFilename = 4 // Function.filename
+)
+
+// protoBuf is a minimal protobuf wire encoder.
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+// tag emits a field key; wire type 0 = varint, 2 = length-delimited.
+func (p *protoBuf) tag(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (p *protoBuf) int64Field(field int, v int64) {
+	if v == 0 {
+		return // proto3 default
+	}
+	p.tag(field, 0)
+	p.varint(uint64(v))
+}
+
+func (p *protoBuf) bytesField(field int, b []byte) {
+	p.tag(field, 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *protoBuf) stringField(field int, s string) {
+	p.tag(field, 2)
+	p.varint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+func (p *protoBuf) packed(field int, vs []uint64) {
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+// strTable interns strings; index 0 is "", as profile.proto requires.
+type strTable struct {
+	idx  map[string]int64
+	strs []string
+}
+
+func newStrTable() *strTable {
+	return &strTable{idx: map[string]int64{"": 0}, strs: []string{""}}
+}
+
+func (t *strTable) id(s string) int64 {
+	if i, ok := t.idx[s]; ok {
+		return i
+	}
+	i := int64(len(t.strs))
+	t.idx[s] = i
+	t.strs = append(t.strs, s)
+	return i
+}
+
+// valueType encodes a ValueType submessage.
+func valueType(t *strTable, typ, unit string) []byte {
+	var p protoBuf
+	p.int64Field(vtType, t.id(typ))
+	p.int64Field(vtUnit, t.id(unit))
+	return p.b
+}
+
+// Pprof encodes the report as an uncompressed profile.proto message.
+// Most callers want WritePprof, which adds the gzip framing pprof
+// expects on disk.
+func (r Report) Pprof() []byte {
+	var out protoBuf
+	strs := newStrTable()
+
+	for _, st := range [][2]string{
+		{"accesses", "count"},
+		{"ll_misses", "count"},
+		{"stall_cycles", "cycles"},
+	} {
+		out.bytesField(profSampleType, valueType(strs, st[0], st[1]))
+	}
+
+	// One function+location per structure and per structure.field;
+	// IDs must be nonzero.
+	nextID := uint64(1)
+	newLoc := func(name, filename string) (uint64, []byte, []byte) {
+		id := nextID
+		nextID++
+		var fn protoBuf
+		fn.int64Field(funcID, int64(id))
+		fn.int64Field(funcName, strs.id(name))
+		if filename != "" {
+			fn.int64Field(funcFilename, strs.id(filename))
+		}
+		var line protoBuf
+		line.int64Field(lineFunctionID, int64(id))
+		var loc protoBuf
+		loc.int64Field(locID, int64(id))
+		loc.bytesField(locLine, line.b)
+		return id, fn.b, loc.b
+	}
+
+	var funcs, locs [][]byte
+	var samples protoBuf
+	for _, s := range r.Structs {
+		structID, fn, loc := newLoc(s.Label, s.Struct)
+		funcs, locs = append(funcs, fn), append(locs, loc)
+		for _, f := range s.Fields {
+			if f.Accesses == 0 {
+				continue
+			}
+			fieldID, ffn, floc := newLoc(s.Label+"."+f.Field, s.Struct)
+			funcs, locs = append(funcs, ffn), append(locs, floc)
+			var sm protoBuf
+			sm.packed(sampleLocationID, []uint64{fieldID, structID}) // leaf first
+			sm.packed(sampleValue, []uint64{
+				uint64(f.Accesses), uint64(f.LLMisses), uint64(f.StallCycles),
+			})
+			samples.bytesField(profSample, sm.b)
+		}
+	}
+	out.b = append(out.b, samples.b...)
+	for _, l := range locs {
+		out.bytesField(profLocation, l)
+	}
+	for _, f := range funcs {
+		out.bytesField(profFunction, f)
+	}
+	// Intern the period type before flushing the string table so the
+	// table is complete when emitted.
+	periodType := valueType(strs, "accesses", "count")
+	for _, s := range strs.strs {
+		out.stringField(profStringTable, s)
+	}
+	out.bytesField(profPeriodType, periodType)
+	out.int64Field(profPeriod, r.SampleEvery)
+	return out.b
+}
+
+// WritePprof writes the gzip-compressed profile.proto — the file
+// format `go tool pprof` opens directly:
+//
+//	f, _ := os.Create("profile.pb.gz")
+//	rep.WritePprof(f)
+//	// go tool pprof -top profile.pb.gz
+func (r Report) WritePprof(w io.Writer) error {
+	zw := gzip.NewWriter(w) // zero ModTime: deterministic output
+	if _, err := zw.Write(r.Pprof()); err != nil {
+		return fmt.Errorf("profile: write pprof: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("profile: write pprof: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package profile
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"ccl/internal/cache"
+)
+
+// profiledReport runs the standard walk and returns its report. The
+// sampling period is odd on purpose: walk's field choice cycles with
+// period 8, and an even period would alias with it and never sample
+// the fields visited on even steps.
+func profiledReport(t *testing.T) Report {
+	t.Helper()
+	h := cache.New(twoLevel())
+	p := Attach(h, Config{SampleEvery: 3, EpochLen: 1024})
+	registerNodes(p)
+	walk(h, 20000)
+	return p.Report()
+}
+
+// TestPprofDeterministic: identical reports must encode to identical
+// bytes, compressed framing included — the property that lets CI
+// diff profiles across runs.
+func TestPprofDeterministic(t *testing.T) {
+	rep := profiledReport(t)
+	var a, b bytes.Buffer
+	if err := rep.WritePprof(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WritePprof(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodings of the same report differ")
+	}
+}
+
+// TestPprofToolReadsProfile is the acceptance check from the issue:
+// `go tool pprof -top` must parse the encoded profile and show the
+// field-level frames. Requires the go tool, which the test process
+// itself ran under.
+func TestPprofToolReadsProfile(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	rep := profiledReport(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profile.pb.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WritePprof(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(goBin, "tool", "pprof", "-top", "-nodecount", "20", path)
+	// pprof writes its cache under $HOME; point it somewhere writable
+	// and hermetic.
+	cmd.Env = append(os.Environ(), "PPROF_TMPDIR="+dir, "HOME="+dir)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go tool pprof -top failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"nodes.key", "nodes.value", "stall_cycles"} {
+		if !bytes.Contains(out, []byte(want)) {
+			t.Errorf("pprof -top output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPprofEmptyReport: a report with no samples must still encode to
+// a structurally valid (if empty) profile.
+func TestPprofEmptyReport(t *testing.T) {
+	rep := Report{Schema: Schema, SampleEvery: 1}
+	var buf bytes.Buffer
+	if err := rep.WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty report produced zero bytes")
+	}
+}
+
+// TestVarintEncoding pins the wire encoder against known vectors.
+func TestVarintEncoding(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want []byte
+	}{
+		{0, []byte{0x00}},
+		{1, []byte{0x01}},
+		{127, []byte{0x7f}},
+		{128, []byte{0x80, 0x01}},
+		{300, []byte{0xac, 0x02}},
+	}
+	for _, c := range cases {
+		var p protoBuf
+		p.varint(c.v)
+		if !bytes.Equal(p.b, c.want) {
+			t.Errorf("varint(%d) = %x, want %x", c.v, p.b, c.want)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ccl/internal/telemetry"
+)
+
+// Schema identifies the profile report format, mirroring the
+// "ccl-bench/v1" convention. Bump on incompatible changes; the golden
+// test locks the encoding.
+const Schema = "ccl-profile/v1"
+
+// Report is a profiler's point-in-time summary, shaped for
+// encoding/json (the ccl-profile/v1 document). Structs are ranked
+// hottest first by last-level misses; fields within a struct likewise,
+// with the hot/cold flag the split/reorder transforms consume.
+type Report struct {
+	Schema      string `json:"schema"`
+	SampleEvery int64  `json:"sample_every"`
+	// Accesses counts every demand access the profiler saw; Sampled
+	// counts those that paid field attribution. Scale sampled counters
+	// by Accesses/Sampled to estimate totals.
+	Accesses int64 `json:"accesses"`
+	Sampled  int64 `json:"sampled"`
+	// EpochLen is the window of each epoch in accesses at report time
+	// (it doubles when a long run's series is merged down).
+	EpochLen int64           `json:"epoch_len"`
+	Structs  []StructProfile `json:"structs,omitempty"`
+	Epochs   []Epoch         `json:"epochs,omitempty"`
+}
+
+// StructProfile is one region's sampled field breakdown.
+type StructProfile struct {
+	// Label is the telemetry region label; Struct the field map's
+	// structure name (empty when the region has no field map and
+	// attribution stopped at whole-structure granularity).
+	Label  string         `json:"label"`
+	Struct string         `json:"struct,omitempty"`
+	Fields []FieldProfile `json:"fields"`
+}
+
+// LLMisses returns the struct's total sampled last-level misses.
+func (s StructProfile) LLMisses() int64 {
+	var n int64
+	for _, f := range s.Fields {
+		n += f.LLMisses
+	}
+	return n
+}
+
+// FieldProfile is one field's sampled counters. The pseudo-fields
+// "(all)" (region without a field map) and "(padding)" (offsets in
+// alignment gaps) carry Offset/Size -1.
+type FieldProfile struct {
+	Field      string `json:"field"`
+	Offset     int64  `json:"offset"`
+	Size       int64  `json:"size"`
+	Accesses   int64  `json:"accesses"`
+	L1Misses   int64  `json:"l1_misses"`
+	LLMisses   int64  `json:"ll_misses"`
+	Compulsory int64  `json:"compulsory"`
+	Capacity   int64  `json:"capacity"`
+	Conflict   int64  `json:"conflict"`
+	// StallCycles is the estimated stall attributable to the field
+	// (static per-level latencies; a ranking weight, not an exact
+	// cycle account).
+	StallCycles int64 `json:"stall_cycles"`
+	// Hot marks the fields that together cover ≥90% of the struct's
+	// sampled last-level misses — the paper's hot portion for
+	// structure splitting. Cold fields (Hot=false) are split
+	// candidates.
+	Hot bool `json:"hot"`
+}
+
+// Epoch is one phase-series window: miss rates and the 3C mix over
+// EpochLen accesses, plus last-level per-set pressure (the hottest
+// set, its miss count, and how many distinct sets missed). After a
+// series merge, HotSetMisses is a lower bound and SetsTouched an upper
+// bound for the merged window.
+type Epoch struct {
+	Accesses     int64 `json:"accesses"`
+	L1Misses     int64 `json:"l1_misses"`
+	LLMisses     int64 `json:"ll_misses"`
+	Compulsory   int64 `json:"compulsory"`
+	Capacity     int64 `json:"capacity"`
+	Conflict     int64 `json:"conflict"`
+	HotSet       int64 `json:"hot_set"`
+	HotSetMisses int64 `json:"hot_set_misses"`
+	SetsTouched  int64 `json:"sets_touched"`
+}
+
+// MissRate returns the epoch's last-level miss rate in [0, 1].
+func (e Epoch) MissRate() float64 {
+	if e.Accesses == 0 {
+		return 0
+	}
+	return float64(e.LLMisses) / float64(e.Accesses)
+}
+
+// hotCoverage is the cumulative share of a struct's last-level misses
+// its hot fields must cover (the paper's splitting heuristic keeps the
+// frequently-accessed portion together).
+const hotCoverage = 0.90
+
+// Report snapshots the profiler without mutating it: the open epoch is
+// included as a final partial window, and further accesses keep
+// accumulating normally.
+func (p *Profiler) Report() Report {
+	rep := Report{
+		Schema:      Schema,
+		SampleEvery: p.cfg.SampleEvery,
+		Accesses:    p.accesses,
+		Sampled:     p.sampled,
+		EpochLen:    p.epochLen,
+	}
+	for _, sr := range p.order {
+		rep.Structs = append(rep.Structs, structProfile(sr))
+	}
+	sort.SliceStable(rep.Structs, func(i, j int) bool {
+		mi, mj := rep.Structs[i].LLMisses(), rep.Structs[j].LLMisses()
+		if mi != mj {
+			return mi > mj
+		}
+		return rep.Structs[i].Label < rep.Structs[j].Label
+	})
+	rep.Epochs = append(rep.Epochs, p.epochs...)
+	if p.cur.accesses > 0 {
+		rep.Epochs = append(rep.Epochs, p.sealEpoch())
+	}
+	return rep
+}
+
+func structProfile(sr *structRec) StructProfile {
+	sp := StructProfile{Label: sr.reg.Label()}
+	if fm := sr.reg.FieldMap(); fm != nil {
+		sp.Struct = fm.Struct
+		for i, f := range fm.Fields {
+			sp.Fields = append(sp.Fields, fieldProfile(f.Name, f.Offset, f.Size, &sr.fields[i]))
+		}
+		if sr.padding.accesses > 0 {
+			sp.Fields = append(sp.Fields, fieldProfile(Padding, -1, -1, &sr.padding))
+		}
+		if sr.whole.accesses > 0 {
+			sp.Fields = append(sp.Fields, fieldProfile(WholeStruct, -1, -1, &sr.whole))
+		}
+	} else {
+		sp.Fields = append(sp.Fields, fieldProfile(WholeStruct, -1, -1, &sr.whole))
+	}
+	rankFields(sp.Fields)
+	return sp
+}
+
+func fieldProfile(name string, off, size int64, r *rec) FieldProfile {
+	return FieldProfile{
+		Field:       name,
+		Offset:      off,
+		Size:        size,
+		Accesses:    r.accesses,
+		L1Misses:    r.l1Misses,
+		LLMisses:    r.llMisses,
+		Compulsory:  r.classes[telemetry.Compulsory],
+		Capacity:    r.classes[telemetry.Capacity],
+		Conflict:    r.classes[telemetry.Conflict],
+		StallCycles: r.stall,
+	}
+}
+
+// rankFields orders fields hottest first (last-level misses, then
+// stall, then accesses, then offset for a total order) and flags the
+// prefix covering hotCoverage of the misses as hot. Zero-miss structs
+// mark nothing hot: with no misses there is nothing to split for.
+func rankFields(fields []FieldProfile) {
+	sort.SliceStable(fields, func(i, j int) bool {
+		a, b := fields[i], fields[j]
+		if a.LLMisses != b.LLMisses {
+			return a.LLMisses > b.LLMisses
+		}
+		if a.StallCycles != b.StallCycles {
+			return a.StallCycles > b.StallCycles
+		}
+		if a.Accesses != b.Accesses {
+			return a.Accesses > b.Accesses
+		}
+		return a.Offset < b.Offset
+	})
+	var total int64
+	for _, f := range fields {
+		total += f.LLMisses
+	}
+	if total == 0 {
+		return
+	}
+	var cum int64
+	for i := range fields {
+		if fields[i].LLMisses == 0 {
+			break
+		}
+		fields[i].Hot = true
+		cum += fields[i].LLMisses
+		if float64(cum) >= hotCoverage*float64(total) {
+			break
+		}
+	}
+}
+
+// RenderTable renders the hot/cold ranking as text: one section per
+// structure (hottest first), one row per field.
+func (r Report) RenderTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "field profile (%s): sampled %d of %d accesses (1/%d)\n",
+		r.Schema, r.Sampled, r.Accesses, r.SampleEvery)
+	if len(r.Structs) == 0 {
+		sb.WriteString("  no regions sampled\n")
+		return sb.String()
+	}
+	for _, s := range r.Structs {
+		name := s.Label
+		if s.Struct != "" && s.Struct != s.Label {
+			name = fmt.Sprintf("%s (%s)", s.Label, s.Struct)
+		}
+		fmt.Fprintf(&sb, "%s: %d ll-misses\n", name, s.LLMisses())
+		fmt.Fprintf(&sb, "  %-12s %8s %9s %9s %6s  %-17s %10s\n",
+			"field", "off/size", "accesses", "ll-miss", "miss%", "3C comp/cap/conf", "stall-cyc")
+		for _, f := range s.Fields {
+			span := "-"
+			if f.Offset >= 0 {
+				span = fmt.Sprintf("%d/%d", f.Offset, f.Size)
+			}
+			var pct float64
+			if f.Accesses > 0 {
+				pct = 100 * float64(f.LLMisses) / float64(f.Accesses)
+			}
+			mark := "cold"
+			if f.Hot {
+				mark = "HOT"
+			}
+			fmt.Fprintf(&sb, "  %-12s %8s %9d %9d %5.1f%%  %5d/%5d/%5d %10d  %s\n",
+				f.Field, span, f.Accesses, f.LLMisses, pct,
+				f.Compulsory, f.Capacity, f.Conflict, f.StallCycles, mark)
+		}
+	}
+	return sb.String()
+}
+
+// seriesRamp maps an epoch's relative intensity to a glyph, coldest
+// first (same ramp as the telemetry heatmap).
+const seriesRamp = " .:-=+*#%@"
+
+// sparkline maps vals onto the ramp, normalized to the maximum.
+func sparkline(vals []float64) string {
+	var max float64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range vals {
+		if max == 0 {
+			sb.WriteByte(' ')
+			continue
+		}
+		sb.WriteByte(seriesRamp[int(v/max*float64(len(seriesRamp)-1))])
+	}
+	return sb.String()
+}
+
+// RenderSeries renders the phase time series as sparklines — one
+// column per epoch (left = oldest) — for the last-level miss rate, the
+// conflict share of misses, and hot-set pressure. Phase shifts (build
+// vs search, before vs after a morph) show as level changes.
+func (r Report) RenderSeries() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "phase series: %d epochs x %d accesses\n", len(r.Epochs), r.EpochLen)
+	if len(r.Epochs) == 0 {
+		return sb.String()
+	}
+	miss := make([]float64, len(r.Epochs))
+	conf := make([]float64, len(r.Epochs))
+	press := make([]float64, len(r.Epochs))
+	var peakMiss float64
+	for i, e := range r.Epochs {
+		miss[i] = e.MissRate()
+		if miss[i] > peakMiss {
+			peakMiss = miss[i]
+		}
+		if e.LLMisses > 0 {
+			conf[i] = float64(e.Conflict) / float64(e.LLMisses)
+			press[i] = float64(e.HotSetMisses) / float64(e.LLMisses)
+		}
+	}
+	fmt.Fprintf(&sb, "  %-13s |%s| peak %.3f\n", "ll miss rate", sparkline(miss), peakMiss)
+	fmt.Fprintf(&sb, "  %-13s |%s| share of misses\n", "conflict mix", sparkline(conf))
+	fmt.Fprintf(&sb, "  %-13s |%s| hottest-set share\n", "set pressure", sparkline(press))
+	return sb.String()
+}

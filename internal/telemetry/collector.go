@@ -42,9 +42,17 @@ func (s *lruSet) touch(block int64) {
 		return
 	}
 	if len(s.entries) >= s.capacity {
+		// Recycle the evicted entry for the incoming block: a full
+		// shadow set reaches a steady state where touch allocates
+		// nothing, which keeps the whole observer path (collector and
+		// the profiler layered on it) allocation-free under churn.
 		lru := s.tail
 		s.unlink(lru)
 		delete(s.entries, lru.block)
+		lru.block = block
+		s.entries[block] = lru
+		s.pushFront(lru)
+		return
 	}
 	e := &lruEntry{block: block}
 	s.entries[block] = e
@@ -112,6 +120,14 @@ type Collector struct {
 	levels  []*levelTel
 	heat    heatCounters
 	regions *RegionMap
+
+	// lastLL/lastCls record whether the most recent OnAccess missed
+	// the last level and its 3C class — the per-access seam the
+	// sampling profiler (internal/profile) reads after forwarding an
+	// event, so field-level classification reuses this collector's
+	// shadow caches instead of running a second shadow simulation.
+	lastLL  bool
+	lastCls MissClass
 }
 
 var _ cache.Observer = (*Collector)(nil)
@@ -161,6 +177,7 @@ func (c *Collector) Reset() {
 		c.heat.evictions[i] = 0
 	}
 	c.regions.reset()
+	c.lastLL, c.lastCls = false, Compulsory
 }
 
 // classify assigns the 3C class of a miss at level li for block blk.
@@ -180,6 +197,7 @@ func (lt *levelTel) classify(blk int64) MissClass {
 // OnAccess implements cache.Observer.
 func (c *Collector) OnAccess(addr memsys.Addr, kind cache.AccessKind, hitLevel int) {
 	last := len(c.levels) - 1
+	c.lastLL = false
 	reg := c.regions.find(addr)
 	reg.accesses++
 	for i, lt := range c.levels {
@@ -196,6 +214,7 @@ func (c *Collector) OnAccess(addr memsys.Addr, kind cache.AccessKind, hitLevel i
 			lt.classes[cls]++
 			reg.misses[i]++
 			if i == last {
+				c.lastLL, c.lastCls = true, cls
 				reg.classes[cls]++
 				set := blk % c.heat.sets
 				c.heat.misses[set]++
@@ -228,6 +247,13 @@ func (c *Collector) OnFill(level int, addr memsys.Addr, prefetch bool) {
 		lt.prefetchFills++
 	}
 }
+
+// LastLLMissClass reports whether the most recent OnAccess missed the
+// last cache level, and if so that miss's 3C class. The sampling
+// profiler calls it immediately after forwarding an access, so one
+// shadow simulation serves both the aggregate counters and the
+// per-field classification.
+func (c *Collector) LastLLMissClass() (MissClass, bool) { return c.lastCls, c.lastLL }
 
 // Misses returns the 3C breakdown of demand misses at level i.
 func (c *Collector) Misses(i int) (compulsory, capacity, conflict int64) {

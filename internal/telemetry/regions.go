@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ccl/internal/layout"
 	"ccl/internal/memsys"
 )
 
@@ -16,8 +17,9 @@ type Region struct {
 	ranges   []memsys.AddrRange
 	bytes    int64
 	accesses int64
-	misses   []int64  // per cache level
-	classes  [3]int64 // 3C classes at the last level
+	misses   []int64          // per cache level
+	classes  [3]int64         // 3C classes at the last level
+	fields   *layout.FieldMap // nil: no field-level attribution
 }
 
 // Label returns the region's name.
@@ -25,6 +27,11 @@ func (r *Region) Label() string { return r.label }
 
 // Bytes returns the total registered size.
 func (r *Region) Bytes() int64 { return r.bytes }
+
+// FieldMap returns the region's structure layout, or nil when none
+// was attached. Regions without a field map still attribute misses at
+// whole-structure granularity.
+func (r *Region) FieldMap() *layout.FieldMap { return r.fields }
 
 // OtherLabel is the implicit bucket charged with traffic to addresses
 // no registered region covers (allocator metadata, globals, scratch).
@@ -100,6 +107,31 @@ func (m *RegionMap) RegisterRange(label string, rng memsys.AddrRange) {
 	m.sorted[i] = entry{r: rng, reg: reg}
 }
 
+// RegisterElems registers one size-byte range per address under
+// label: the per-element registration pattern field-level profiling
+// wants (every range starts on an element boundary even though
+// allocator headers sit between elements). addrs is sorted in place
+// first — ascending insertion appends at the tail of the sorted slice,
+// so n elements cost one O(n log n) sort instead of O(n²) memmove.
+func (m *RegionMap) RegisterElems(label string, addrs []memsys.Addr, size int64) {
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		m.Register(label, a, size)
+	}
+}
+
+// SetFieldMap attaches a structure layout to the labeled region
+// (creating the region if the label is new), enabling field-level
+// attribution for sampled misses inside it. Every range registered
+// under the label must start on an element boundary — per-element
+// registration (one range per node, as trees.BST.RegisterNodes does)
+// satisfies this trivially; a single whole-heap range generally does
+// not, because allocator headers break the stride.
+func (m *RegionMap) SetFieldMap(label string, fm layout.FieldMap) {
+	r := m.region(label)
+	r.fields = &fm
+}
+
 // find returns the region charged for addr: the registered range
 // containing it, or the implicit "(other)" bucket.
 func (m *RegionMap) find(addr memsys.Addr) *Region {
@@ -109,6 +141,23 @@ func (m *RegionMap) find(addr memsys.Addr) *Region {
 	}
 	return m.other
 }
+
+// Resolve returns the region containing addr together with addr's
+// offset from the start of the containing registered range, the
+// quantity a field map reduces to a member offset. Unregistered
+// addresses resolve to the implicit "(other)" bucket with offset -1.
+// The profiler's sampled path is the intended caller; the lookup is
+// one binary search over the sorted ranges.
+func (m *RegionMap) Resolve(addr memsys.Addr) (*Region, int64) {
+	i := sort.Search(len(m.sorted), func(i int) bool { return m.sorted[i].r.End > addr })
+	if i < len(m.sorted) && m.sorted[i].r.Contains(addr) {
+		return m.sorted[i].reg, int64(addr) - int64(m.sorted[i].r.Start)
+	}
+	return m.other, -1
+}
+
+// Other returns the implicit bucket charged for unregistered traffic.
+func (m *RegionMap) Other() *Region { return m.other }
 
 // reset zeroes every region's counters, keeping registrations.
 func (m *RegionMap) reset() {

@@ -2,11 +2,13 @@ package telemetry
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
 
 	"ccl/internal/cache"
+	"ccl/internal/layout"
 	"ccl/internal/memsys"
 )
 
@@ -351,5 +353,88 @@ func TestRegistryConcurrentUse(t *testing.T) {
 		if s[fmt.Sprintf("gauge.%d", g)] != perG-1 {
 			t.Errorf("gauge.%d = %d, want %d", g, s[fmt.Sprintf("gauge.%d", g)], perG-1)
 		}
+	}
+}
+
+// TestResetReportMatchesFresh is the snapshot-side regression for the
+// profiler seam (DESIGN.md §10): after traffic and a Reset, everything
+// a snapshot exposes — level counters, heatmap rows, region
+// attribution — must be byte-equal to a fresh collector carrying the
+// same registrations and field maps, and the per-access
+// LastLLMissClass seam must read as "no miss yet". Only shadow-LRU
+// history may differ, by design (it mirrors Hierarchy.ResetStats so
+// compulsory misses are not double-counted).
+func TestResetReportMatchesFresh(t *testing.T) {
+	fm := layout.MustFieldMap("node", 16, layout.Field{Name: "k", Offset: 0, Size: 8})
+	build := func() (*cache.Hierarchy, *Collector) {
+		h := cache.New(directMapped())
+		col := Attach(h)
+		col.Regions().Register("r", 0x1000, 64)
+		col.Regions().SetFieldMap("r", fm)
+		return h, col
+	}
+
+	h, col := build()
+	for i := int64(0); i < 32; i++ {
+		h.Access(memsys.Addr(0x1000+16*(i%8)), 8, cache.Load)
+	}
+	if _, ok := col.LastLLMissClass(); !ok {
+		t.Fatal("LastLLMissClass saw no miss during warmup traffic")
+	}
+	col.Reset()
+
+	if _, ok := col.LastLLMissClass(); ok {
+		t.Error("LastLLMissClass still set after Reset")
+	}
+	_, fresh := build()
+	if got, want := col.Report(), fresh.Report(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Reset collector's report differs from fresh:\n got %+v\nwant %+v", got, want)
+	}
+	// Registrations and field maps survive Reset, so attribution picks
+	// up immediately on the next access.
+	r, off := col.Regions().Resolve(0x1008)
+	if r.Label() != "r" || off != 8 || r.FieldMap() == nil || r.FieldMap().Struct != "node" {
+		t.Errorf("Resolve after Reset = (%q, %d, fm=%+v)", r.Label(), off, r.FieldMap())
+	}
+}
+
+// TestRenderEdges pins the heatmap renderer's boundary behavior: a
+// zero-value heatmap (no sets, no traffic), more columns than sets,
+// non-positive column counts, and bucketed rows where sets don't
+// divide evenly into columns.
+func TestRenderEdges(t *testing.T) {
+	// Empty heatmap: no rows to bucket, no division by zero.
+	empty := Heatmap{Level: "L1"}
+	art := empty.RenderASCII(8)
+	if !strings.Contains(art, "peak 0") {
+		t.Errorf("empty heatmap render lost its peak annotation:\n%s", art)
+	}
+
+	// cols > sets collapses to one column per set.
+	line, max := renderRow([]int64{5, 0}, 64)
+	if line != "@ " || max != 5 {
+		t.Errorf("renderRow wide = (%q, %d), want (\"@ \", 5)", line, max)
+	}
+
+	// Uneven bucketing: 3 sets into 2 columns puts 2 sets in bucket 0.
+	line, max = renderRow([]int64{1, 1, 4}, 2)
+	if len(line) != 2 || max != 4 {
+		t.Errorf("renderRow uneven = (%q, %d), want 2 cols, peak 4", line, max)
+	}
+	if line[1] != '@' {
+		t.Errorf("hottest bucket not at full ramp: %q", line)
+	}
+
+	// All-zero traffic renders blanks, not a divide-by-zero.
+	line, max = renderRow([]int64{0, 0, 0, 0}, 4)
+	if line != "    " || max != 0 {
+		t.Errorf("renderRow zeros = (%q, %d)", line, max)
+	}
+
+	// cols <= 0 falls back to the default width instead of panicking.
+	hm := Heatmap{Level: "L1", Sets: 4, Accesses: []int64{1, 2, 3, 4},
+		Misses: make([]int64, 4), Conflicts: make([]int64, 4), Evictions: make([]int64, 4)}
+	if art := hm.RenderASCII(0); !strings.Contains(art, "4 cols") {
+		t.Errorf("RenderASCII(0) did not clamp to the set count:\n%s", art)
 	}
 }

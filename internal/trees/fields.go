@@ -1,0 +1,102 @@
+// Field maps and profiler registration for the tree structures: the
+// glue between the microbenchmark trees and the field-level miss
+// profiler (internal/profile). Each tree exports its element layout as
+// a layout.FieldMap and can register every live node with a telemetry
+// RegionMap, one range per node — per-element registration keeps field
+// resolution exact even though the boundary-tag heap's headers break
+// any whole-heap stride.
+
+package trees
+
+import (
+	"ccl/internal/layout"
+	"ccl/internal/memsys"
+	"ccl/internal/telemetry"
+)
+
+// BSTFieldMap describes the BST element layout (key, child pointers,
+// satellite value) for field-level miss attribution.
+func BSTFieldMap() layout.FieldMap {
+	return layout.MustFieldMap("bst-node", BSTNodeSize,
+		layout.Field{Name: "key", Offset: bstOffKey, Size: 4},
+		layout.Field{Name: "left", Offset: bstOffLeft, Size: 4},
+		layout.Field{Name: "right", Offset: bstOffRight, Size: 4},
+		layout.Field{Name: "value", Offset: bstOffValue, Size: 8},
+	)
+}
+
+// RegisterNodes registers every live node under label — one range per
+// node, walked host-side through the arena so registration itself
+// costs no simulated cycles — and attaches the BST field map. Call it
+// after Build (or again under a new label after Morph; ranges must not
+// overlap live registrations, so use a fresh RegionMap or distinct
+// address space per phase).
+func (t *BST) RegisterNodes(rm *telemetry.RegionMap, label string) {
+	var addrs []memsys.Addr
+	var walk func(n memsys.Addr)
+	walk = func(n memsys.Addr) {
+		if n.IsNil() {
+			return
+		}
+		addrs = append(addrs, n)
+		walk(t.m.Arena.LoadAddr(n.Add(bstOffLeft)))
+		walk(t.m.Arena.LoadAddr(n.Add(bstOffRight)))
+	}
+	walk(t.root)
+	rm.RegisterElems(label, addrs, BSTNodeSize)
+	rm.SetFieldMap(label, BSTFieldMap())
+}
+
+// FieldMap describes this B-tree's internal-node layout (geometry
+// dependent: K separator keys, K+1 children, count, leaf flag).
+// Leaves reinterpret the key/child area as records; RegisterNodes
+// registers them under their own label with LeafFieldMap.
+func (t *BTree) FieldMap() layout.FieldMap {
+	return layout.MustFieldMap("btree-node", t.blockSize,
+		layout.Field{Name: "keys", Offset: 0, Size: int64(t.maxKeys) * 4},
+		layout.Field{Name: "children", Offset: t.childOff(0), Size: int64(t.maxKeys+1) * 4},
+		layout.Field{Name: "count", Offset: t.countOff(), Size: 4},
+		layout.Field{Name: "leaf", Offset: t.leafOff(), Size: 4},
+	)
+}
+
+// LeafFieldMap describes the leaf-node layout: the record area
+// (key + satellite value pairs), then the shared count/leaf tail.
+func (t *BTree) LeafFieldMap() layout.FieldMap {
+	return layout.MustFieldMap("btree-leaf", t.blockSize,
+		layout.Field{Name: "records", Offset: 0, Size: int64(t.leafCap) * 12},
+		layout.Field{Name: "count", Offset: t.countOff(), Size: 4},
+		layout.Field{Name: "leaf", Offset: t.leafOff(), Size: 4},
+	)
+}
+
+// RegisterNodes registers every live node, internal nodes under label
+// and leaves under label+"-leaves" (their layouts differ), with the
+// matching field maps attached.
+func (t *BTree) RegisterNodes(rm *telemetry.RegionMap, label string) {
+	var internal, leaves []memsys.Addr
+	var walk func(n memsys.Addr)
+	walk = func(n memsys.Addr) {
+		if n.IsNil() {
+			return
+		}
+		if t.rawLeaf(n) {
+			leaves = append(leaves, n)
+			return
+		}
+		internal = append(internal, n)
+		for i := 0; i <= t.rawCount(n); i++ {
+			walk(t.rawChild(n, i))
+		}
+	}
+	walk(t.root)
+	leafLabel := label + "-leaves"
+	rm.RegisterElems(label, internal, t.blockSize)
+	rm.RegisterElems(leafLabel, leaves, t.blockSize)
+	if len(internal) > 0 {
+		rm.SetFieldMap(label, t.FieldMap())
+	}
+	if len(leaves) > 0 {
+		rm.SetFieldMap(leafLabel, t.LeafFieldMap())
+	}
+}
