@@ -116,6 +116,49 @@ func BenchmarkFig5CTree(b *testing.B) {
 	})
 }
 
+func BenchmarkFig5VEBTree(b *testing.B) {
+	fig5Search(b, func(m *ccl.Machine) func(uint32) bool {
+		t := must(ccl.BuildBST(m, ccl.NewMalloc(m), 1<<16-1, ccl.RandomOrder, 11))
+		if _, err := t.MorphStrategy(ccl.VEB, 0.5, nil); err != nil {
+			panic(err)
+		}
+		return t.Search
+	})
+}
+
+// BenchmarkSplitSearch runs the full profile -> plan -> split
+// pipeline once, then measures steady-state searches on the hot SoA
+// arrays — the strategies experiment's second contender on the
+// zero-alloc search path.
+func BenchmarkSplitSearch(b *testing.B) {
+	fig5Search(b, func(m *ccl.Machine) func(uint32) bool {
+		const n = 1<<16 - 1
+		t := must(ccl.BuildBST(m, ccl.NewMalloc(m), n, ccl.RandomOrder, 11))
+		prof := ccl.AttachProfiler(m, ccl.ProfileConfig{})
+		t.RegisterNodes(prof.Regions(), "bst-nodes")
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 4000; i++ {
+			t.Search(uint32(rng.Int63n(n)) + 1)
+		}
+		part := must(ccl.PlanBSTSplit(prof.Report(), "bst-nodes"))
+		st := must2(t.Split(part, ccl.SplitConfig{
+			Geometry:  ccl.LastLevelGeometry(m),
+			ColorFrac: 0.5,
+		}, nil))
+		m.Cache.SetObserver(nil) // measure the bare search path
+		return st.Search
+	})
+}
+
+// must2 is must for the (value, stats, error) triples the
+// reorganizing transforms return.
+func must2[T, S any](v T, _ S, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // --- Figure 6: macrobenchmarks ---
 
 func BenchmarkFig6Radiance(b *testing.B) {

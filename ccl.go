@@ -43,6 +43,7 @@ import (
 	"ccl/internal/model"
 	"ccl/internal/profile"
 	"ccl/internal/sim"
+	"ccl/internal/split"
 	"ccl/internal/telemetry"
 	"ccl/internal/trees"
 )
@@ -147,6 +148,21 @@ type (
 	// Placer is a shareable placement context for morphing several
 	// structures against one cache partition.
 	Placer = ccmorph.Placer
+	// MorphStrategy selects CCMorph's placement order: the paper's
+	// subtree clustering or the cache-oblivious vEB order.
+	MorphStrategy = ccmorph.Strategy
+)
+
+// CCMorph placement strategies.
+const (
+	// SubtreeCluster packs cache-block-sized subtrees (§3.1, the
+	// paper's strategy and the default).
+	SubtreeCluster = ccmorph.SubtreeCluster
+	// VEB places nodes in the van Emde Boas recursive order: height-
+	// halving recursion keeps every descent's bottom levels on one
+	// page, trading a little coloring coverage for TLB locality on
+	// trees beyond TLB reach.
+	VEB = ccmorph.VEB
 )
 
 // Reorganize transparently rewrites the tree rooted at root into a
@@ -229,6 +245,36 @@ func NewBTree(m *Machine, colorFrac float64) (*BTree, error) {
 // BSTLayout returns the CCMorph template for BST nodes, for use with
 // Reorganize.
 func BSTLayout() StructureLayout { return trees.Layout() }
+
+// Hot/cold structure splitting (§3.2's second technique): partition a
+// structure's fields by profiled temperature, pack the hot fields into
+// index-linked SoA arrays placed in the cache's hot partition, and
+// bank the cold fields in an overflow record.
+type (
+	// SplitPartition is a hot/cold assignment of one structure's
+	// fields, typically derived from a Profile via PlanBSTSplit.
+	SplitPartition = split.Partition
+	// SplitConfig carries the placement geometry and coloring
+	// fraction of a split.
+	SplitConfig = split.Config
+	// SplitStats reports what a split did.
+	SplitStats = split.Stats
+	// SplitTree is the split form of a pointer structure: hot SoA
+	// arrays plus a cold overflow bank, linked by element index.
+	SplitTree = split.Tree
+	// SplitBST is a BST in split form; Search runs on the hot arrays
+	// and never touches a cold byte.
+	SplitBST = trees.SplitBST
+)
+
+// PlanBSTSplit derives a hot/cold partition for BST nodes from a
+// profile: fields the profiler ranked hot (plus the child pointers,
+// which a split tree always needs) go hot, the rest cold. It fails
+// with ErrInvalidArg when the profile has no structure under label.
+// Apply the plan with (*BST).Split; undo with SplitTree.Reassemble.
+func PlanBSTSplit(rep Profile, label string) (SplitPartition, error) {
+	return trees.PlanBSTSplit(rep, label)
+}
 
 // Error taxonomy. Every library failure wraps exactly one of these
 // sentinels (match with errors.Is); injected faults additionally wrap

@@ -60,6 +60,7 @@ func Registry() []Spec {
 		oracleSpec(),
 		replaySpec(),
 		fieldprofSpec(),
+		strategiesSpec(),
 	}
 }
 

@@ -72,6 +72,40 @@ func (l Layout) validate() error {
 	return nil
 }
 
+// Strategy selects the node order Reorganize packs into blocks. Both
+// strategies share every other phase — snapshot, placement, coloring,
+// copy-then-commit — so they are interchangeable drop-ins with
+// identical failure semantics.
+type Strategy int
+
+const (
+	// SubtreeCluster is the paper's §2.1 policy: level-order clusters
+	// of k-node subtrees, each packed into one cache block. It is
+	// cache-aware — tuned to the block size — and the default.
+	SubtreeCluster Strategy = iota
+	// VEB lays nodes out in van Emde Boas recursive-blocked order
+	// (layout.VEBOrder): the tree splits at half its height, top half
+	// before each bottom subtree, recursively. The order is
+	// cache-oblivious — near-optimal at every granularity at once —
+	// which matters most a level above the cache: on deep trees the
+	// bottom recursive subtrees keep the last steps of a descent on
+	// one page, where clustering's level-order spread costs a TLB
+	// miss per step.
+	VEB
+)
+
+// String names the strategy as the bench tables do.
+func (s Strategy) String() string {
+	switch s {
+	case SubtreeCluster:
+		return "subtree-cluster"
+	case VEB:
+		return "veb"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
 // Config carries the cache parameters of the paper's ccmorph call
 // (Figure 3: Cache_sets, Cache_associativity, Cache_blk_size,
 // Color_const).
@@ -82,6 +116,9 @@ type Config struct {
 	// structure's hottest elements — the paper's Color_const. Zero
 	// disables coloring (clustering only).
 	ColorFrac float64
+	// Strategy selects the node order; the zero value is the paper's
+	// subtree clustering.
+	Strategy Strategy
 }
 
 // Stats reports what a reorganization did.
@@ -252,7 +289,7 @@ func Reorganize(m *machine.Machine, root memsys.Addr, lay Layout, cfg Config,
 	if err != nil {
 		return root, Stats{Aborted: 1}, err
 	}
-	return ReorganizeWith(m, root, lay, placer, freeOld)
+	return ReorganizeWithStrategy(m, root, lay, cfg.Strategy, placer, freeOld)
 }
 
 // snapNode is the host-side record of one element taken during the
@@ -267,19 +304,28 @@ type snapNode struct {
 }
 
 // ReorganizeWith is Reorganize with a caller-supplied (shareable)
-// placement context. See Reorganize for the copy-then-commit failure
-// contract: every phase before the final commit only reads the old
-// structure and writes freshly-claimed extents, so an error at any
-// point returns the original root with the input intact.
+// placement context and the default subtree-clustering strategy.
+func ReorganizeWith(m *machine.Machine, root memsys.Addr, lay Layout, placer *Placer,
+	freeOld func(memsys.Addr)) (memsys.Addr, Stats, error) {
+	return ReorganizeWithStrategy(m, root, lay, SubtreeCluster, placer, freeOld)
+}
+
+// ReorganizeWithStrategy is Reorganize with a caller-supplied
+// (shareable) placement context and an explicit node-order strategy.
+// See Reorganize for the copy-then-commit failure contract: every
+// phase before the final commit only reads the old structure and
+// writes freshly-claimed extents, so an error at any point returns
+// the original root with the input intact.
 //
 // The implementation makes one read pass over the old structure in
 // preorder (sequential on depth-first layouts, no worse than any
-// order on scattered ones), computes the subtree clustering and
-// coloring assignment host-side, then makes one write pass in the
-// new layout's order — mirroring how the real ccmorph copies a
-// structure into contiguous blocks without thrashing the cache it is
-// trying to help.
-func ReorganizeWith(m *machine.Machine, root memsys.Addr, lay Layout, placer *Placer,
+// order on scattered ones), computes the node order (subtree
+// clustering or vEB) and coloring assignment host-side, then makes
+// one write pass in the new layout's order — mirroring how the real
+// ccmorph copies a structure into contiguous blocks without thrashing
+// the cache it is trying to help.
+func ReorganizeWithStrategy(m *machine.Machine, root memsys.Addr, lay Layout,
+	strat Strategy, placer *Placer,
 	freeOld func(memsys.Addr)) (newRoot memsys.Addr, stats Stats, err error) {
 
 	if err := lay.validate(); err != nil {
@@ -314,10 +360,22 @@ func ReorganizeWith(m *machine.Machine, root memsys.Addr, lay Layout, placer *Pl
 		return root, Stats{Aborted: 1}, err
 	}
 
-	// Phase 2: subtree clustering, host-side.
+	// Phase 2: compute the node order, host-side.
 	k := placer.geo.NodesPerBlock(lay.NodeSize)
 	m.Tick(ClusterCost * int64(len(nodes)))
-	clusters := clusterize(nodes, lay.MaxKids, k)
+	var clusters [][]int
+	switch strat {
+	case SubtreeCluster:
+		clusters = clusterize(nodes, lay.MaxKids, k)
+	case VEB:
+		clusters, err = vebClusters(nodes, k)
+		if err != nil {
+			return root, Stats{Aborted: 1}, err
+		}
+	default:
+		return root, Stats{Aborted: 1}, cclerr.Errorf(cclerr.ErrInvalidArg,
+			"ccmorph: unknown strategy %d", int(strat))
+	}
 
 	stats = Stats{
 		Nodes:       int64(len(nodes)),
@@ -493,4 +551,54 @@ func clusterize(nodes []snapNode, maxKids int, k int64) [][]int {
 		}
 	}
 	return clusters
+}
+
+// vebClusters partitions the van Emde Boas order into clusters the
+// placer packs into cache blocks. Cluster boundaries follow the
+// order's recursive-subtree structure rather than fixed k-node runs:
+// a node joins the current cluster only while its parent is already
+// in it (and the cluster has room), so the finest recursive blocks —
+// a parent and its children, contiguous in vEB order by construction
+// — land in one cache block. Naive k-chunking instead shears those
+// groups across block boundaries, and measurably loses the paths-per-
+// block economy that subtree clustering gets for free. The order's
+// prefix holds the top recursive subtrees — the root-most nodes — so
+// the colored hot budget covers the elements every search touches,
+// same as clusterize's level-order output.
+//
+// The snapshot has already proven the structure a tree, so VEBOrder's
+// validation cannot fail here; errors are surfaced anyway to keep the
+// abort path honest.
+func vebClusters(nodes []snapNode, k int64) ([][]int, error) {
+	kids := make([][]int, len(nodes))
+	for i := range nodes {
+		for _, kid := range nodes[i].kids {
+			if kid >= 0 {
+				kids[i] = append(kids[i], kid)
+			}
+		}
+	}
+	order, err := layout.VEBOrder(kids, 0)
+	if err != nil {
+		return nil, err
+	}
+	var clusters [][]int
+	var cur []int
+	inCur := func(v int) bool {
+		p := nodes[v].parent
+		for _, c := range cur {
+			if c == p {
+				return true
+			}
+		}
+		return false
+	}
+	for _, v := range order {
+		if len(cur) > 0 && (int64(len(cur)) >= k || !inCur(v)) {
+			clusters = append(clusters, cur)
+			cur = nil
+		}
+		cur = append(cur, v)
+	}
+	return append(clusters, cur), nil
 }

@@ -27,3 +27,27 @@ func FuzzReorganize(f *testing.F) {
 		}
 	})
 }
+
+// FuzzVEBMorph is FuzzReorganize for the cache-oblivious strategy:
+// the vEB order's budgeted height-halving must preserve contents,
+// in-order traversal, and stripe discipline on arbitrary insertion
+// topologies — sticks degrade its recursion to sequential runs, which
+// is exactly the edge the fuzzer hammers.
+func FuzzVEBMorph(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 0x10, 0x00, 0x08, 0x00, 0x18, 0x00})
+	f.Add([]byte{2, 0x01, 0x00, 0x02, 0x00, 0x03, 0x00, 0x04, 0x00, 0x05, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		colorFrac := float64(data[0]%3) * 0.25 // 0, .25, .5
+		var keys []uint32
+		for off := 1; off+2 <= len(data) && len(keys) < 2_000; off += 2 {
+			keys = append(keys, uint32(binary.LittleEndian.Uint16(data[off:])))
+		}
+		if err := checkMorphPreservesStrategy(keys, colorFrac, VEB); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

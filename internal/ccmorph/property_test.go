@@ -73,10 +73,18 @@ func collectInOrder(m *machine.Machine, root memsys.Addr) []uint32 {
 }
 
 // checkMorphPreserves builds a BST from the insertion sequence,
-// reorganizes it, and returns an error if reorganization changed the
-// tree's contents or in-order traversal, placed a node across the
-// hot/cold color boundary, or lost nodes.
+// reorganizes it with the default subtree clustering, and returns an
+// error if reorganization changed the tree's contents or in-order
+// traversal, placed a node across the hot/cold color boundary, or
+// lost nodes.
 func checkMorphPreserves(keys []uint32, colorFrac float64) error {
+	return checkMorphPreservesStrategy(keys, colorFrac, SubtreeCluster)
+}
+
+// checkMorphPreservesStrategy is checkMorphPreserves for an explicit
+// placement strategy: both orders share the copy-then-commit machinery
+// and must satisfy the identical preservation property.
+func checkMorphPreservesStrategy(keys []uint32, colorFrac float64, strat Strategy) error {
 	if len(keys) == 0 {
 		return nil
 	}
@@ -88,6 +96,7 @@ func checkMorphPreserves(keys []uint32, colorFrac float64) error {
 	cfg := Config{
 		Geometry:  layout.Geometry{Sets: 64, Assoc: 1, BlockSize: 64},
 		ColorFrac: colorFrac,
+		Strategy:  strat,
 	}
 	newRoot, st, err := Reorganize(m, root, binLayout(20, false), cfg, nil)
 	if err != nil {
@@ -163,6 +172,34 @@ func TestMorphPreservesContentsProperty(t *testing.T) {
 			},
 			func(keys []uint32) bool {
 				return checkMorphPreserves(keys, frac) != nil
+			})
+	}
+}
+
+// TestVEBMorphPreservesContentsProperty is the same metamorphic
+// property for the cache-oblivious strategy: the vEB order must also
+// be semantics-preserving on every reachable topology — including the
+// sticks and zig-zags whose heights defeat clean height-halving — and
+// compose with coloring without a node straddling a stripe boundary.
+func TestVEBMorphPreservesContentsProperty(t *testing.T) {
+	fracs := []float64{0, 0.25, 0.5}
+	for round, frac := range fracs {
+		frac := frac
+		shrink.Check(t, int64(200+round), 60,
+			func(rng *rand.Rand) []uint32 {
+				n := 1 + rng.Intn(300)
+				keys := make([]uint32, n)
+				span := 1 + rng.Intn(2*n)
+				for i := range keys {
+					keys[i] = uint32(rng.Intn(span))
+				}
+				if rng.Intn(4) == 0 { // sticks: worst case for height halving
+					sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+				}
+				return keys
+			},
+			func(keys []uint32) bool {
+				return checkMorphPreservesStrategy(keys, frac, VEB) != nil
 			})
 	}
 }

@@ -1,0 +1,114 @@
+// veb.go computes the van Emde Boas (cache-oblivious) node order for
+// tree placement: recursively split the tree at half its height and
+// lay out the top half before each bottom subtree, so that at every
+// scale — cache block, page, or anything between — a root-to-leaf
+// path touches O(log_B n) contiguous regions without the layout ever
+// knowing B ("Optimal Hierarchical Layouts for Cache-Oblivious Search
+// Trees", Lindstrom & Rajan). ccmorph's VEB strategy packs this order
+// into blocks; the TLB is where it pays off over subtree clustering,
+// because the bottom recursive subtrees keep the last levels of a
+// descent on one page instead of one page per level.
+
+package layout
+
+import "ccl/internal/cclerr"
+
+// VEBOrder returns the van Emde Boas permutation of the tree given as
+// an adjacency list: out[i] is the index of the i-th node in layout
+// order, with out[0] == root. kids[v] lists v's children (any arity;
+// order is preserved, so the permutation is deterministic).
+//
+// Heights need not be powers of two and the tree need not be
+// balanced: the recursion splits the current height budget in half,
+// so a degenerate stick simply degrades to its sequential order —
+// which is its optimal layout — in O(log n) recursion depth. A root
+// out of range or a child index out of range fails with
+// cclerr.ErrInvalidArg; a node reachable twice (DAG or cycle) fails
+// with cclerr.ErrNotTree.
+func VEBOrder(kids [][]int, root int) ([]int, error) {
+	n := len(kids)
+	if root < 0 || root >= n {
+		return nil, cclerr.Errorf(cclerr.ErrInvalidArg,
+			"layout: VEBOrder: root %d out of range [0, %d)", root, n)
+	}
+
+	// Preorder walk: validates indices and treeness, and gives an
+	// order in which every node precedes its descendants — so heights
+	// compute in one reverse pass, without recursion.
+	pre := make([]int, 0, n)
+	visited := make([]bool, n)
+	visited[root] = true
+	stack := append(make([]int, 0, 64), root)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		pre = append(pre, v)
+		for _, k := range kids[v] {
+			if k < 0 || k >= n {
+				return nil, cclerr.Errorf(cclerr.ErrInvalidArg,
+					"layout: VEBOrder: child %d of node %d out of range [0, %d)", k, v, n)
+			}
+			if visited[k] {
+				return nil, cclerr.Errorf(cclerr.ErrNotTree,
+					"layout: VEBOrder: node %d reachable twice", k)
+			}
+			visited[k] = true
+			stack = append(stack, k)
+		}
+	}
+
+	// height[v] counts nodes on the longest downward path from v
+	// (leaf = 1).
+	height := make([]int, n)
+	for i := len(pre) - 1; i >= 0; i-- {
+		v := pre[i]
+		h := 0
+		for _, k := range kids[v] {
+			if height[k] > h {
+				h = height[k]
+			}
+		}
+		height[v] = h + 1
+	}
+
+	out := make([]int, 0, len(pre))
+	scratch := make([]int, 0, 64) // boundary-node queue, reused across calls
+
+	// emit appends, in vEB order, every node of r's subtree at
+	// relative depth < budget. Splitting the budget (not the exact
+	// subtree height) keeps the recursion well-defined for unbalanced
+	// trees: a bottom subtree shorter than its budget just terminates
+	// early.
+	var emit func(r, budget int)
+	emit = func(r, budget int) {
+		if budget > height[r] {
+			budget = height[r]
+		}
+		if budget <= 1 {
+			out = append(out, r)
+			return
+		}
+		topH := budget / 2
+
+		// Top recursive subtree: depths [0, topH).
+		emit(r, topH)
+
+		// Boundary nodes at exactly depth topH, in BFS (left-to-right)
+		// order, each rooting a bottom recursive subtree.
+		frontier := append(scratch[:0], r)
+		for d := 0; d < topH; d++ {
+			var next []int
+			for _, v := range frontier {
+				for _, k := range kids[v] {
+					next = append(next, k)
+				}
+			}
+			frontier = next
+		}
+		for _, b := range frontier {
+			emit(b, budget-topH)
+		}
+	}
+	emit(root, height[root])
+	return out, nil
+}

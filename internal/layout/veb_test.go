@@ -1,0 +1,174 @@
+package layout
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ccl/internal/cclerr"
+)
+
+// perfectKids builds the adjacency of a perfect binary tree of the
+// given height in heap order (kids of i are 2i+1, 2i+2).
+func perfectKids(height int) [][]int {
+	n := 1<<height - 1
+	kids := make([][]int, n)
+	for i := 0; i < n; i++ {
+		if l := 2*i + 1; l < n {
+			kids[i] = []int{l, 2*i + 2}
+		}
+	}
+	return kids
+}
+
+// TestVEBOrderPerfectTree pins the exact layout of a height-4 perfect
+// tree: top half (heights 4 -> 2 -> 1) gives [root, kids], then each
+// height-2 bottom subtree lays out contiguously.
+func TestVEBOrderPerfectTree(t *testing.T) {
+	order, err := VEBOrder(perfectKids(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3, 7, 8, 4, 9, 10, 5, 11, 12, 6, 13, 14}
+	if len(order) != len(want) {
+		t.Fatalf("order has %d nodes, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestVEBOrderStick: a degenerate chain's vEB order is its sequential
+// order (which is optimal for it) — the graceful-degradation case for
+// unbalanced inputs.
+func TestVEBOrderStick(t *testing.T) {
+	const n = 37 // deliberately not a power of two
+	kids := make([][]int, n)
+	for i := 0; i < n-1; i++ {
+		kids[i] = []int{i + 1}
+	}
+	order, err := VEBOrder(kids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("stick order[%d] = %d, want %d (full: %v)", i, v, i, order)
+		}
+	}
+}
+
+// TestVEBOrderProperties checks the two structural invariants on
+// random unbalanced trees with non-pow2 heights: the order is a
+// permutation of the reachable nodes starting at the root, and every
+// node's parent precedes it (the top recursive subtree always lays
+// out before its bottom subtrees).
+func TestVEBOrderProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(500)
+		kids := make([][]int, n)
+		parent := make([]int, n)
+		parent[0] = -1
+		// Random insertion shape: attach each node to a random earlier
+		// node with fewer than 2 kids (fall back to a chain).
+		for v := 1; v < n; v++ {
+			p := rng.Intn(v)
+			for len(kids[p]) >= 2 {
+				p = (p + 1) % v
+			}
+			kids[p] = append(kids[p], v)
+			parent[v] = p
+		}
+		order, err := VEBOrder(kids, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(order) != n || order[0] != 0 {
+			t.Fatalf("trial %d: %d nodes in order (want %d), first %d", trial, len(order), n, order[0])
+		}
+		pos := make([]int, n)
+		seen := make([]bool, n)
+		for i, v := range order {
+			if seen[v] {
+				t.Fatalf("trial %d: node %d emitted twice", trial, v)
+			}
+			seen[v] = true
+			pos[v] = i
+		}
+		for v := 1; v < n; v++ {
+			if pos[parent[v]] >= pos[v] {
+				t.Fatalf("trial %d: parent %d (pos %d) after child %d (pos %d)",
+					trial, parent[v], pos[parent[v]], v, pos[v])
+			}
+		}
+	}
+}
+
+// TestVEBOrderRecursiveBlocks checks the property that makes the
+// layout cache-oblivious: in a height-8 perfect tree, every height-4
+// bottom subtree (15 nodes) occupies contiguous slots, so the last
+// four levels of any descent live in one 15-node region regardless of
+// the block or page size.
+func TestVEBOrderRecursiveBlocks(t *testing.T) {
+	kids := perfectKids(8)
+	order, err := VEBOrder(kids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+	// Nodes at depth 4 root the bottom recursive subtrees.
+	for b := 15; b < 31; b++ {
+		lo, hi := len(order), -1
+		var walk func(v int)
+		walk = func(v int) {
+			if pos[v] < lo {
+				lo = pos[v]
+			}
+			if pos[v] > hi {
+				hi = pos[v]
+			}
+			for _, k := range kids[v] {
+				walk(k)
+			}
+		}
+		walk(b)
+		if hi-lo+1 != 15 {
+			t.Fatalf("bottom subtree at %d spans [%d, %d] (%d slots), want 15 contiguous",
+				b, lo, hi, hi-lo+1)
+		}
+	}
+}
+
+// TestVEBOrderErrors drives the typed failure paths.
+func TestVEBOrderErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		kids [][]int
+		root int
+		want error
+	}{
+		{"root out of range", [][]int{{}}, 3, cclerr.ErrInvalidArg},
+		{"negative root", [][]int{{}}, -1, cclerr.ErrInvalidArg},
+		{"empty adjacency", nil, 0, cclerr.ErrInvalidArg},
+		{"child out of range", [][]int{{5}}, 0, cclerr.ErrInvalidArg},
+		{"cycle", [][]int{{1}, {0}}, 0, cclerr.ErrNotTree},
+		{"shared child", [][]int{{1, 2}, {3}, {3}, nil}, 0, cclerr.ErrNotTree},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := VEBOrder(c.kids, c.root)
+			if !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+			if cclerr.Class(err) == "" {
+				t.Fatalf("error %v has no taxonomy class", err)
+			}
+		})
+	}
+}

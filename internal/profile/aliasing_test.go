@@ -1,0 +1,136 @@
+package profile
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ccl/internal/cache"
+	"ccl/internal/cclerr"
+	"ccl/internal/layout"
+	"ccl/internal/memsys"
+)
+
+// cellFieldMap is a power-of-two list cell: 4-byte key at 0, 4-byte
+// next pointer at 8, 16 bytes total — the geometry whose access cycle
+// shares a factor with every even sampling period.
+func cellFieldMap() layout.FieldMap {
+	return layout.MustFieldMap("cell", 16,
+		layout.Field{Name: "key", Offset: 0, Size: 4},
+		layout.Field{Name: "next", Offset: 8, Size: 4},
+	)
+}
+
+func registerCells(p *Profiler, count int64) {
+	const base = memsys.Addr(0x4000)
+	for i := int64(0); i < count; i++ {
+		p.Regions().Register("cells", base.Add(i*16), 16)
+	}
+	p.Regions().SetFieldMap("cells", cellFieldMap())
+}
+
+// cellWalk replays the periodic pointer chase the validator exists
+// for: each step loads a cell's key, then its next pointer — a
+// strictly alternating two-access cycle.
+func cellWalk(h *cache.Hierarchy, count int64, rounds int) {
+	const base = memsys.Addr(0x4000)
+	for r := 0; r < rounds; r++ {
+		for i := int64(0); i < count; i++ {
+			a := base.Add(i * 16)
+			h.Access(a, 4, cache.Load)
+			h.Access(a.Add(8), 4, cache.Load)
+		}
+	}
+}
+
+// fieldAccesses returns per-field sampled access counts for label's
+// struct, zero for fields the profile never sampled.
+func fieldAccesses(t *testing.T, rep Report, label string) map[string]int64 {
+	t.Helper()
+	got := map[string]int64{"key": 0, "next": 0}
+	for _, s := range rep.Structs {
+		if s.Label != label {
+			continue
+		}
+		for _, f := range s.Fields {
+			got[f.Field] += f.Accesses
+		}
+		return got
+	}
+	t.Fatalf("no struct %q in report", label)
+	return nil
+}
+
+// TestSamplePeriodAliasing is the regression for the sampling trap
+// SamplePeriodJitterless guards: an even period over a periodic walk
+// of power-of-two elements locks the deterministic countdown onto one
+// phase of the access cycle, so one of the two fields is never
+// sampled and silently ranks cold. The validator must reject exactly
+// the period that exhibits the bias, and the odd period it recommends
+// must sample both fields.
+func TestSamplePeriodAliasing(t *testing.T) {
+	const cells = 64
+
+	// SampleEvery=2 on a key/next/key/next stream: every sample lands
+	// on the same field forever.
+	h := cache.New(twoLevel())
+	p := Attach(h, Config{SampleEvery: 2})
+	registerCells(p, cells)
+	cellWalk(h, cells, 50)
+	acc := fieldAccesses(t, p.Report(), "cells")
+	if acc["key"] != 0 && acc["next"] != 0 {
+		t.Fatalf("even period sampled both fields (key=%d next=%d); the aliasing this test locks down is gone",
+			acc["key"], acc["next"])
+	}
+	if acc["key"] == 0 && acc["next"] == 0 {
+		t.Fatal("even period sampled neither field; walk not reaching the region?")
+	}
+	err := p.SamplePeriodJitterless()
+	if !errors.Is(err, cclerr.ErrInvalidArg) {
+		t.Fatalf("SamplePeriodJitterless() = %v, want ErrInvalidArg for even period over pow2 elements", err)
+	}
+	if !strings.Contains(err.Error(), "cells") {
+		t.Fatalf("validator error does not name the offending region: %v", err)
+	}
+
+	// SampleEvery=3 is coprime with the 2-access cycle: the sample
+	// phase rotates and both fields accumulate counts.
+	h = cache.New(twoLevel())
+	p = Attach(h, Config{SampleEvery: 3})
+	registerCells(p, cells)
+	if err := p.SamplePeriodJitterless(); err != nil {
+		t.Fatalf("SamplePeriodJitterless() = %v for odd period, want nil", err)
+	}
+	cellWalk(h, cells, 50)
+	acc = fieldAccesses(t, p.Report(), "cells")
+	if acc["key"] == 0 || acc["next"] == 0 {
+		t.Fatalf("odd period left a field unsampled (key=%d next=%d)", acc["key"], acc["next"])
+	}
+}
+
+// TestSamplePeriodJitterlessScope pins the validator's boundaries: no
+// thinning and odd periods always pass; even periods pass until a
+// power-of-two field map is registered, and the non-pow2 20-byte BST
+// node never triggers it.
+func TestSamplePeriodJitterlessScope(t *testing.T) {
+	for _, every := range []int64{0, 1, 3, 7} {
+		p := Attach(cache.New(twoLevel()), Config{SampleEvery: every})
+		registerCells(p, 4)
+		if err := p.SamplePeriodJitterless(); err != nil {
+			t.Fatalf("SampleEvery=%d: unexpected error %v", every, err)
+		}
+	}
+
+	p := Attach(cache.New(twoLevel()), Config{SampleEvery: 2})
+	if err := p.SamplePeriodJitterless(); err != nil {
+		t.Fatalf("even period with no field maps: unexpected error %v", err)
+	}
+	registerNodes(p) // 20-byte elements: not a power of two
+	if err := p.SamplePeriodJitterless(); err != nil {
+		t.Fatalf("even period over 20-byte elements: unexpected error %v", err)
+	}
+	registerCells(p, 4)
+	if err := p.SamplePeriodJitterless(); err == nil {
+		t.Fatal("even period over pow2 elements passed the validator")
+	}
+}

@@ -28,7 +28,11 @@
 package profile
 
 import (
+	"fmt"
+	"strings"
+
 	"ccl/internal/cache"
+	"ccl/internal/cclerr"
 	"ccl/internal/layout"
 	"ccl/internal/memsys"
 	"ccl/internal/telemetry"
@@ -232,6 +236,41 @@ func (p *Profiler) Reset() {
 	for i := range p.setScratch {
 		p.setScratch[i] = 0
 	}
+}
+
+// SamplePeriodJitterless checks the configured sample period against
+// the element geometries registered so far and rejects periods that
+// can alias with them. The sampling countdown is deterministic, so a
+// period sharing a factor with a workload's access cycle samples the
+// same phase of that cycle forever: an even period over a pointer
+// walk that alternates key and link loads on power-of-two-sized
+// elements never samples one of the two fields, and the field table
+// silently reports it cold (the trap SampleEvery's doc comment
+// warns about — this is the enforcement).
+//
+// The check is geometric, not behavioral: any power-of-two element
+// size shares a factor with every even period, so those pairs are
+// rejected with cclerr.ErrInvalidArg naming the offending regions.
+// Odd periods are coprime with every power-of-two cycle and always
+// pass, as does SampleEvery <= 1 (no thinning, nothing to alias).
+// Call it after registering structures, before the measured phase.
+func (p *Profiler) SamplePeriodJitterless() error {
+	period := p.cfg.SampleEvery
+	if period <= 1 || period%2 == 1 {
+		return nil
+	}
+	var offenders []string
+	p.Regions().EachFieldMap(func(label string, fm *layout.FieldMap) {
+		if fm.Size > 0 && fm.Size&(fm.Size-1) == 0 {
+			offenders = append(offenders, fmt.Sprintf("%s (%q, %d bytes)", label, fm.Struct, fm.Size))
+		}
+	})
+	if len(offenders) == 0 {
+		return nil
+	}
+	return cclerr.Errorf(cclerr.ErrInvalidArg,
+		"profile: even sample period %d aliases with power-of-two element regions %s; use an odd (ideally prime) period",
+		period, strings.Join(offenders, ", "))
 }
 
 // OnAccess implements cache.Observer.

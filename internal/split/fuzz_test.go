@@ -1,0 +1,32 @@
+package split_test
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzHotColdSplit derives an insertion topology, a coloring
+// fraction, and a partition variant from raw bytes, then runs the
+// full round-trip property: Split must preserve traversal and stripe
+// discipline, leave the original untouched, and Reassemble must
+// return every payload bit. Any topology the builder can produce —
+// sticks, zig-zags, duplicate-heavy shrubs — is in scope.
+func FuzzHotColdSplit(f *testing.F) {
+	f.Add([]byte{0, 0})
+	f.Add([]byte{2, 0, 0x10, 0x00, 0x08, 0x00, 0x18, 0x00})
+	f.Add([]byte{2, 1, 0x01, 0x00, 0x02, 0x00, 0x03, 0x00, 0x04, 0x00, 0x05, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		colorFrac := float64(data[0]%3) * 0.25 // 0, .25, .5
+		pinsOnly := data[1]%2 == 1
+		var keys []uint32
+		for off := 2; off+2 <= len(data) && len(keys) < 1_500; off += 2 {
+			keys = append(keys, uint32(binary.LittleEndian.Uint16(data[off:])))
+		}
+		if err := checkSplitRoundTrip(keys, colorFrac, pinsOnly); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

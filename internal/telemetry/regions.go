@@ -132,6 +132,18 @@ func (m *RegionMap) SetFieldMap(label string, fm layout.FieldMap) {
 	r.fields = &fm
 }
 
+// EachFieldMap yields every region that carries a field map, in
+// registration order — the hook validators (like the profiler's
+// sample-period aliasing check) use to inspect what element
+// geometries a workload registered.
+func (m *RegionMap) EachFieldMap(f func(label string, fm *layout.FieldMap)) {
+	for _, r := range m.order {
+		if r.fields != nil {
+			f(r.label, r.fields)
+		}
+	}
+}
+
 // find returns the region charged for addr: the registered range
 // containing it, or the implicit "(other)" bucket.
 func (m *RegionMap) find(addr memsys.Addr) *Region {

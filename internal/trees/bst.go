@@ -17,8 +17,8 @@ import (
 	"fmt"
 	"math/rand"
 
-	"ccl/internal/ccmorph"
 	"ccl/internal/cclerr"
+	"ccl/internal/ccmorph"
 	"ccl/internal/heap"
 	"ccl/internal/layout"
 	"ccl/internal/machine"
@@ -280,9 +280,18 @@ func Layout() ccmorph.Layout {
 // error the tree keeps its original layout and remains searchable
 // (Reorganize is copy-then-commit).
 func (t *BST) Morph(colorFrac float64, freeOld func(memsys.Addr)) (ccmorph.Stats, error) {
+	return t.MorphStrategy(ccmorph.SubtreeCluster, colorFrac, freeOld)
+}
+
+// MorphStrategy is Morph with an explicit node-order strategy:
+// ccmorph.SubtreeCluster for the paper's clustering,
+// ccmorph.VEB for the cache-oblivious recursive-blocked layout.
+func (t *BST) MorphStrategy(strat ccmorph.Strategy, colorFrac float64,
+	freeOld func(memsys.Addr)) (ccmorph.Stats, error) {
 	cfg := ccmorph.Config{
 		Geometry:  layout.FromLevel(t.m.Cache.LastLevel()),
 		ColorFrac: colorFrac,
+		Strategy:  strat,
 	}
 	newRoot, st, err := ccmorph.Reorganize(t.m, t.root, Layout(), cfg, freeOld)
 	t.root = newRoot
@@ -294,7 +303,14 @@ func (t *BST) Morph(colorFrac float64, freeOld func(memsys.Addr)) (ccmorph.Stats
 // (Placer.Extents) so the reorganized structure can be registered as
 // its own miss-attribution region.
 func (t *BST) MorphWith(placer *ccmorph.Placer, freeOld func(memsys.Addr)) (ccmorph.Stats, error) {
-	newRoot, st, err := ccmorph.ReorganizeWith(t.m, t.root, Layout(), placer, freeOld)
+	return t.MorphStrategyWith(ccmorph.SubtreeCluster, placer, freeOld)
+}
+
+// MorphStrategyWith combines MorphStrategy's explicit strategy with
+// MorphWith's caller-supplied placement context.
+func (t *BST) MorphStrategyWith(strat ccmorph.Strategy, placer *ccmorph.Placer,
+	freeOld func(memsys.Addr)) (ccmorph.Stats, error) {
+	newRoot, st, err := ccmorph.ReorganizeWithStrategy(t.m, t.root, Layout(), strat, placer, freeOld)
 	t.root = newRoot
 	return st, err
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"ccl/internal/cclerr"
+	"ccl/internal/ccmorph"
 	"ccl/internal/layout"
 	"ccl/internal/machine"
 	"ccl/internal/memsys"
@@ -498,6 +499,59 @@ func (t *BTree) insertNonFull(node memsys.Addr, key uint32) error {
 		}
 		node = child
 	}
+}
+
+// morphLayout returns the ccmorph template for this tree's
+// block-sized nodes. Kid reads the leaf flag and count (metered, like
+// every morph traversal access) and reports NilAddr for leaves and
+// for child slots beyond count — which also hides the stale pointers
+// a preemptive split leaves beyond a shrunk node's live slots.
+func (t *BTree) morphLayout() ccmorph.Layout {
+	return ccmorph.Layout{
+		NodeSize: t.blockSize,
+		MaxKids:  t.maxKeys + 1,
+		Kid: func(m *machine.Machine, n memsys.Addr, i int) memsys.Addr {
+			if m.Load32(n.Add(t.leafOff())) != 0 {
+				return memsys.NilAddr
+			}
+			if cnt := int(m.Load32(n.Add(t.countOff()))); i > cnt+1 {
+				return memsys.NilAddr
+			}
+			return m.LoadAddr(n.Add(t.childOff(i - 1)))
+		},
+		SetKid: func(m *machine.Machine, n memsys.Addr, i int, kid memsys.Addr) {
+			m.StoreAddr(n.Add(t.childOff(i-1)), kid)
+		},
+	}
+}
+
+// Morph reorganizes the tree's blocks with ccmorph under the given
+// node-order strategy. Each node is exactly one cache block, so
+// clustering degenerates to k = 1 and the interesting effect is the
+// order itself: VEB keeps the bottom levels of a descent on one page.
+// Old blocks are not reclaimed (the segment/bump allocators have no
+// free path); on error the tree keeps its original layout
+// (Reorganize is copy-then-commit).
+func (t *BTree) Morph(strat ccmorph.Strategy, colorFrac float64) (ccmorph.Stats, error) {
+	placer, err := ccmorph.NewPlacer(t.m.Arena, ccmorph.Config{
+		Geometry:  layout.FromLevel(t.m.Cache.LastLevel()),
+		ColorFrac: colorFrac,
+		Strategy:  strat,
+	})
+	if err != nil {
+		return ccmorph.Stats{Aborted: 1}, err
+	}
+	return t.MorphWith(strat, placer)
+}
+
+// MorphWith is Morph with a caller-supplied placement context.
+func (t *BTree) MorphWith(strat ccmorph.Strategy, placer *ccmorph.Placer) (ccmorph.Stats, error) {
+	if t.root.IsNil() {
+		return ccmorph.Stats{}, nil
+	}
+	newRoot, st, err := ccmorph.ReorganizeWithStrategy(t.m, t.root, t.morphLayout(), strat, placer, nil)
+	t.root = newRoot
+	return st, err
 }
 
 // CheckInvariants walks the tree verifying ordering, balance (uniform

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ccl/internal/cclerr"
+	"ccl/internal/ccmorph"
 	"ccl/internal/layout"
 	"ccl/internal/machine"
 	"ccl/internal/memsys"
@@ -212,5 +213,45 @@ func TestBTreeNodesBlockAligned(t *testing.T) {
 	dfs(bt.root)
 	if seen < 100 {
 		t.Fatalf("walked only %d nodes", seen)
+	}
+}
+
+// TestBTreeMorphStrategies exercises both node-order strategies on
+// the one-node-per-block tree: the morph must keep the tree balanced,
+// ordered, and fully searchable, and must actually move the root
+// (copy-then-commit relocates every node).
+func TestBTreeMorphStrategies(t *testing.T) {
+	const n = 1000
+	for _, strat := range []ccmorph.Strategy{ccmorph.SubtreeCluster, ccmorph.VEB} {
+		t.Run(strat.String(), func(t *testing.T) {
+			m := machine.NewScaled(64)
+			bt := newBTree(t, m, 0.5)
+			bulkLoad(t, bt, n, 0.67)
+			oldRoot := bt.root
+			st, err := bt.Morph(strat, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Nodes == 0 {
+				t.Fatal("morph placed no nodes")
+			}
+			if st.NodesPerBlk != 1 {
+				t.Fatalf("k = %d, want 1 (one node per block)", st.NodesPerBlk)
+			}
+			if bt.root == oldRoot {
+				t.Fatal("morph did not relocate the root")
+			}
+			if err := bt.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			for k := int64(1); k <= n; k++ {
+				if !bt.Search(uint32(k)) {
+					t.Fatalf("key %d not found after %s morph", k, strat)
+				}
+			}
+			if bt.Search(0) || bt.Search(n+1) {
+				t.Fatal("morphed tree finds absent keys")
+			}
+		})
 	}
 }
