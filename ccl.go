@@ -297,6 +297,17 @@ var (
 	ErrCorruptTrace = cclerr.ErrCorruptTrace
 	// ErrFaultInjected: the failure came from the fault injector.
 	ErrFaultInjected = cclerr.ErrFaultInjected
+	// ErrOverloaded: admission control rejected the work (rate limit
+	// or full queue); back off and retry. The server maps it to HTTP
+	// 429/503 (see DESIGN.md §12).
+	ErrOverloaded = cclerr.ErrOverloaded
+	// ErrDeadlineExceeded: a deadline expired before the work
+	// finished; partial results may still have been flushed.
+	ErrDeadlineExceeded = cclerr.ErrDeadlineExceeded
+	// ErrBudgetExceeded: a simulated-memory budget could not cover an
+	// arena growth. Unlike ErrOutOfMemory (address-space exhaustion),
+	// this is a per-request quota the submitter chose.
+	ErrBudgetExceeded = cclerr.ErrBudgetExceeded
 )
 
 // ErrorClass maps an error to its machine-readable taxonomy label

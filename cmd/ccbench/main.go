@@ -41,7 +41,9 @@
 // itself still exits 0, because a sweep that measures robustness must
 // outlive the failures it provokes. Ctrl-C interrupts gracefully: no
 // new jobs start, running jobs drain, and completed experiments are
-// flushed to the -json report with its "interrupted" marker set.
+// flushed to the -json report with its "interrupted" marker set. A
+// second Ctrl-C skips the drain and exits immediately, so a hung job
+// can never hold the shutdown hostage (internal/drain).
 package main
 
 import (
@@ -51,7 +53,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -59,6 +60,7 @@ import (
 	"time"
 
 	"ccl/internal/bench"
+	"ccl/internal/drain"
 	"ccl/internal/faults"
 	"ccl/internal/profile"
 	"ccl/internal/sim"
@@ -189,8 +191,12 @@ func main() {
 	// SIGINT cancels the context; the pool stops issuing new jobs,
 	// running jobs drain, and the partial report — every experiment
 	// that completed, partial tables marked interrupted — still
-	// flushes to -json.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// flushes to -json. A second SIGINT force-exits: a hung job must
+	// not be able to block the drain forever.
+	ctx, stop := drain.Context(context.Background(), func() {
+		fmt.Fprintln(os.Stderr, "ccbench: second interrupt, exiting without drain")
+		os.Exit(130)
+	}, os.Interrupt)
 	defer stop()
 
 	rep := bench.Run(ctx, specs, bench.Options{

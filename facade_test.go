@@ -1,6 +1,7 @@
 package ccl_test
 
 import (
+	"errors"
 	"testing"
 
 	"ccl"
@@ -113,6 +114,27 @@ func TestFacadeModel(t *testing.T) {
 	loc := ccl.Locality{D: 20, K: 2, Rs: 10}
 	if loc.MissRate() != 0.25 {
 		t.Fatalf("Locality miss rate = %v", loc.MissRate())
+	}
+}
+
+func TestFacadeErrorTaxonomy(t *testing.T) {
+	// Every exported sentinel must carry a class label, and the
+	// serving sentinels must be distinct from the structural ones.
+	for _, tc := range []struct {
+		err  error
+		want string
+	}{
+		{ccl.ErrOutOfMemory, "out-of-memory"},
+		{ccl.ErrOverloaded, "overloaded"},
+		{ccl.ErrDeadlineExceeded, "deadline-exceeded"},
+		{ccl.ErrBudgetExceeded, "budget-exceeded"},
+	} {
+		if got := ccl.ErrorClass(tc.err); got != tc.want {
+			t.Errorf("ErrorClass(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+	if errors.Is(ccl.ErrBudgetExceeded, ccl.ErrOutOfMemory) {
+		t.Error("budget-exceeded must not alias out-of-memory")
 	}
 }
 

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"ccl/internal/cclerr"
@@ -20,6 +21,14 @@ type Failure struct {
 	Job   string `json:"job,omitempty"`
 	Error string `json:"error"`
 	Class string `json:"class,omitempty"`
+	// Injected marks failures caused by the fault injector
+	// (cclerr.ErrFaultInjected anywhere in the chain). Class alone
+	// cannot carry this: an injected arena-grow fault classifies as
+	// the operational failure it simulates ("out-of-memory"), by
+	// design. The serve layer's retry policy keys on this marker —
+	// injected failures are transient by construction, anything else
+	// recurs deterministically and must not be retried.
+	Injected bool `json:"injected,omitempty"`
 }
 
 // newFailure builds a Failure from a job's error or recovered panic
@@ -29,6 +38,7 @@ func newFailure(experiment, job string, v any) *Failure {
 	if err, ok := v.(error); ok {
 		f.Error = err.Error()
 		f.Class = cclerr.Class(err)
+		f.Injected = errors.Is(err, cclerr.ErrFaultInjected)
 	} else {
 		f.Error = fmt.Sprint(v)
 	}

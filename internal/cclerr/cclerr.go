@@ -21,6 +21,7 @@
 package cclerr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -63,6 +64,27 @@ var (
 	// they simulate, so production code paths need not know about
 	// fault injection to classify them.
 	ErrFaultInjected = errors.New("injected fault")
+
+	// ErrOverloaded reports that admission control rejected work the
+	// system cannot take on right now: a tenant over its request rate,
+	// a full queue, or a server that has begun draining. The caller
+	// should back off and retry later; nothing was started. The serve
+	// layer maps it to HTTP 429 (rate-limited, retry after the bucket
+	// refills) or 503 (queue full / draining); see DESIGN.md §12.
+	ErrOverloaded = errors.New("overloaded")
+
+	// ErrDeadlineExceeded reports that a request or job ran out of
+	// time: its context deadline expired before the work completed.
+	// Partial results may have been flushed; completed sub-results
+	// remain valid. Maps to HTTP 504.
+	ErrDeadlineExceeded = errors.New("deadline exceeded")
+
+	// ErrBudgetExceeded reports that a per-request simulated-memory
+	// budget was exhausted (sim.Budget): the run asked its arenas to
+	// grow past what its tenant is entitled to. Distinct from
+	// ErrOutOfMemory — the machine had room, the tenant did not.
+	// Maps to HTTP 507.
+	ErrBudgetExceeded = errors.New("memory budget exceeded")
 )
 
 // Errorf returns an error wrapping sentinel with formatted call-site
@@ -78,6 +100,7 @@ func Sentinels() []error {
 	return []error{
 		ErrOutOfMemory, ErrBadGeometry, ErrInvalidArg, ErrNotTree,
 		ErrPlacementFailed, ErrCorruptTrace, ErrFaultInjected,
+		ErrOverloaded, ErrDeadlineExceeded, ErrBudgetExceeded,
 	}
 }
 
@@ -89,6 +112,18 @@ func Class(err error) string {
 	switch {
 	case err == nil:
 		return ""
+	// Budget exhaustion is reported before out-of-memory: the arena
+	// wraps every grow-guard veto in ErrOutOfMemory, so a budget
+	// failure carries both sentinels and the more specific one must
+	// win.
+	case errors.Is(err, ErrBudgetExceeded):
+		return "budget-exceeded"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
+		return "deadline-exceeded"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
 	case errors.Is(err, ErrOutOfMemory):
 		return "out-of-memory"
 	case errors.Is(err, ErrBadGeometry):

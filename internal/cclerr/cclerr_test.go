@@ -1,6 +1,7 @@
 package cclerr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -49,5 +50,30 @@ func TestClassCoversEverySentinel(t *testing.T) {
 	both := fmt.Errorf("%w: %w", ErrOutOfMemory, ErrFaultInjected)
 	if got := Class(both); got != "out-of-memory" {
 		t.Errorf("Class(oom+fault) = %q, want out-of-memory", got)
+	}
+}
+
+func TestClassBudgetBeatsOutOfMemory(t *testing.T) {
+	// The arena wraps every grow-guard veto in ErrOutOfMemory, so a
+	// budget failure reaches the caller carrying both sentinels; the
+	// tenant-specific classification must win over the generic one.
+	err := fmt.Errorf("memsys: Grow vetoed: %w: %w",
+		ErrOutOfMemory, Errorf(ErrBudgetExceeded, "budget: 4096 over"))
+	if got := Class(err); got != "budget-exceeded" {
+		t.Errorf("Class(oom+budget) = %q, want budget-exceeded", got)
+	}
+}
+
+func TestClassContextErrors(t *testing.T) {
+	// Context errors classify without an explicit cclerr wrap, so a
+	// job that returns ctx.Err() verbatim still lands in the taxonomy.
+	if got := Class(context.DeadlineExceeded); got != "deadline-exceeded" {
+		t.Errorf("Class(context.DeadlineExceeded) = %q, want deadline-exceeded", got)
+	}
+	if got := Class(context.Canceled); got != "canceled" {
+		t.Errorf("Class(context.Canceled) = %q, want canceled", got)
+	}
+	if got := Class(Errorf(ErrDeadlineExceeded, "request t1/7")); got != "deadline-exceeded" {
+		t.Errorf("Class(ErrDeadlineExceeded) = %q, want deadline-exceeded", got)
 	}
 }

@@ -1,0 +1,69 @@
+// Package drain implements the two-signal shutdown protocol shared by
+// the long-running commands (ccbench, cclserve).
+//
+// The first signal asks for a graceful drain: the returned context is
+// cancelled, admission stops, and in-flight work is given a chance to
+// finish and flush partial results. The second signal is the
+// operator's veto: a hung job (or a drain deadline that turned out to
+// be optimistic) must never be able to hold the process hostage, so
+// the second delivery force-exits immediately. signal.NotifyContext
+// alone cannot express this — after its context fires it keeps
+// swallowing the signal, which is exactly the ccbench hang this
+// package replaced.
+package drain
+
+import (
+	"context"
+	"os"
+	"os/signal"
+)
+
+// Context returns a copy of parent that is cancelled on the first
+// delivery of any of the listed signals; a second delivery calls
+// force, which is expected not to return (the commands pass
+// os.Exit). With no signals listed it watches os.Interrupt.
+//
+// The returned stop function releases the signal watcher; call it
+// once the drain has completed so later signals get the default
+// behaviour again, exactly like signal.NotifyContext's stop.
+func Context(parent context.Context, force func(), sigs ...os.Signal) (ctx context.Context, stop context.CancelFunc) {
+	if len(sigs) == 0 {
+		sigs = []os.Signal{os.Interrupt}
+	}
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, sigs...)
+	ctx, cancel, done := watch(parent, ch, force)
+	return ctx, func() {
+		signal.Stop(ch)
+		close(done)
+		cancel()
+	}
+}
+
+// watch is the testable core: it consumes deliveries from ch,
+// cancelling the returned context on the first and invoking force on
+// the second. The watcher goroutine keeps listening after the first
+// delivery — that is the whole point — and exits only when the done
+// channel is closed (the caller's stop) or force has been called.
+func watch(parent context.Context, ch <-chan os.Signal, force func()) (context.Context, context.CancelFunc, chan struct{}) {
+	ctx, cancel := context.WithCancel(parent)
+	done := make(chan struct{})
+	go func() {
+		delivered := 0
+		for {
+			select {
+			case <-ch:
+				delivered++
+				if delivered == 1 {
+					cancel()
+					continue
+				}
+				force()
+				return
+			case <-done:
+				return
+			}
+		}
+	}()
+	return ctx, cancel, done
+}

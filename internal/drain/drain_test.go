@@ -1,0 +1,76 @@
+package drain
+
+import (
+	"context"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// deliver pushes one fake signal delivery into a watcher.
+func deliver(ch chan os.Signal) { ch <- syscall.SIGTERM }
+
+func TestFirstSignalCancelsSecondForces(t *testing.T) {
+	ch := make(chan os.Signal, 2)
+	forced := make(chan struct{})
+	ctx, cancel, done := watch(context.Background(), ch, func() { close(forced) })
+	defer cancel()
+	defer close(done)
+
+	select {
+	case <-ctx.Done():
+		t.Fatal("context cancelled before any signal")
+	default:
+	}
+
+	deliver(ch)
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first signal did not cancel the context")
+	}
+	select {
+	case <-forced:
+		t.Fatal("force ran after a single signal")
+	default:
+	}
+
+	deliver(ch)
+	select {
+	case <-forced:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal did not force-exit — a hung drain would block forever")
+	}
+}
+
+func TestStopReleasesWatcher(t *testing.T) {
+	ch := make(chan os.Signal, 2)
+	ctx, cancel, done := watch(context.Background(), ch, func() {
+		t.Error("force ran after stop")
+	})
+	close(done)
+	cancel()
+	<-ctx.Done()
+	// The watcher is gone; deliveries after stop reach nobody and in
+	// production regain the default signal disposition.
+	deliver(ch)
+	time.Sleep(10 * time.Millisecond)
+}
+
+func TestContextWiresRealSignals(t *testing.T) {
+	// End-to-end over a real SIGTERM at the process: first delivery
+	// cancels; stop() then restores default handling. (The force path
+	// is covered via the watch seam above — forcing here would kill
+	// the test process.)
+	ctx, stop := Context(context.Background(), func() {}, syscall.SIGUSR1)
+	defer stop()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("real signal did not cancel the drain context")
+	}
+}

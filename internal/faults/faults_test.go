@@ -173,3 +173,25 @@ func TestCorruptTraceFailsDecodeTyped(t *testing.T) {
 		t.Fatalf("Corrupt damaged its input: %v", err)
 	}
 }
+
+func TestServePointsAreDistinctAndCheckable(t *testing.T) {
+	// The serve-layer points are deliberately not in Points() — that
+	// would silently reshuffle every historical Seed schedule — but
+	// they must be schedulable and countable like any other point.
+	seen := map[Point]bool{}
+	for _, p := range Points() {
+		seen[p] = true
+	}
+	for _, p := range ServePoints() {
+		if seen[p] {
+			t.Fatalf("serve point %s collides with a structure-level point", p)
+		}
+		in := NewInjector().FailNth(p, 2)
+		if err := in.Check(p); err != nil {
+			t.Fatalf("%s occurrence 1 unexpectedly failed: %v", p, err)
+		}
+		if err := in.Check(p); !errors.Is(err, cclerr.ErrFaultInjected) {
+			t.Fatalf("%s occurrence 2: err = %v, want ErrFaultInjected", p, err)
+		}
+	}
+}

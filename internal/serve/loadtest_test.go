@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestLoadTest is the PR's acceptance gate: 8 tenants x 32 concurrent
+// requests over real HTTP under a fault schedule arming every serve-*
+// point plus arena-grow. Zero server crashes, every rejection typed,
+// every completed result byte-identical to its serial reference run,
+// and a drain under load that finishes inside its deadline.
+func TestLoadTest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test skipped in -short")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := LoadTest(ctx, LoadTestConfig{
+		Tenants:       8,
+		Concurrent:    32,
+		DrainAfter:    20 * time.Millisecond,
+		DrainDeadline: 10 * time.Second,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("LoadTest: %v", err)
+	}
+	t.Logf("loadtest result: %+v", res)
+	if err := res.Failed(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected == 0 {
+		t.Error("want admission rejections under 8x32 load against a small fleet, got none")
+	}
+	if res.Degraded == 0 {
+		t.Error("want degraded (smoke) completions under load, got none")
+	}
+	if res.Retried == 0 {
+		t.Error("want at least one request that retried an injected fault, got none")
+	}
+}

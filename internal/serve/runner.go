@@ -1,0 +1,390 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ccl/internal/bench"
+	"ccl/internal/cache"
+	"ccl/internal/cclerr"
+	"ccl/internal/faults"
+	"ccl/internal/sim"
+	"ccl/internal/trace"
+)
+
+// Event is one NDJSON line of a job stream. The event field selects
+// which of the optional payloads is present:
+//
+//   - "accepted":   tenant, degraded
+//   - "experiment": id, attempt, jobs, failed, skipped, done, total
+//   - "attempt":    attempt, error, class, retrying
+//   - "result":     attempt (attempts used), result
+//   - "error":      error, class (the stream's terminal failure)
+//
+// Every field is deterministic for a fixed spec + seed: no wall
+// times, no ids minted per connection — that is what lets the load
+// test diff completed streams byte-for-byte against a reference run.
+type Event struct {
+	Event    string  `json:"event"`
+	Tenant   string  `json:"tenant,omitempty"`
+	Degraded bool    `json:"degraded,omitempty"`
+	ID       string  `json:"id,omitempty"`
+	Attempt  int     `json:"attempt,omitempty"`
+	Jobs     int     `json:"jobs,omitempty"`
+	Failed   int     `json:"failed,omitempty"`
+	Skipped  int     `json:"skipped,omitempty"`
+	Done     int     `json:"done,omitempty"`
+	Total    int     `json:"total,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	Class    string  `json:"class,omitempty"`
+	Retrying bool    `json:"retrying,omitempty"`
+	Result   *Result `json:"result,omitempty"`
+}
+
+// Result is the deterministic payload of a completed request: the
+// assembled report with its wall times zeroed, plus how the request
+// was treated (degraded or not, attempts used). Identical spec + seed
+// yield byte-identical marshaled Results at any server concurrency.
+type Result struct {
+	Schema   string       `json:"schema"`
+	Tenant   string       `json:"tenant"`
+	Degraded bool         `json:"degraded,omitempty"`
+	Attempts int          `json:"attempts"`
+	Report   bench.Report `json:"report"`
+}
+
+// RetryPolicy bounds the retry-with-jittered-backoff loop around run
+// attempts that fail at a registered fault point. Runs are
+// deterministic, so retrying is idempotent by construction: a retry
+// can only change the outcome because the shared per-request injector
+// has advanced past the scheduled occurrence.
+type RetryPolicy struct {
+	// MaxAttempts bounds run attempts (first try included); values
+	// below 1 mean 1 (no retries).
+	MaxAttempts int
+	// BaseDelay is the first backoff; each further attempt doubles
+	// it, capped at MaxDelay, and the actual sleep is equal-jitter:
+	// half fixed, half drawn from the request's seeded PRNG.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+// DefaultRetry is the server's default policy: three attempts, 50 ms
+// base backoff, 1 s cap.
+var DefaultRetry = RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second}
+
+// Backoff returns the sleep before the next attempt after the given
+// 1-based failed attempt. The jitter draw comes from rng, which the
+// runner seeds from the spec, so the whole retry trajectory — not
+// just its outcome — replays exactly.
+func (p RetryPolicy) Backoff(attempt int, rng *rand.Rand) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	half := int64(d / 2)
+	return time.Duration(half + rng.Int63n(half+1))
+}
+
+// attempts returns the effective attempt bound.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// retryable reports whether the report contains a failure the policy
+// may retry: one caused by the fault injector. Anything else —
+// budget exhaustion, contract violations, real out-of-memory — recurs
+// deterministically and retrying would only burn the tenant's time.
+func retryable(rep bench.Report) bool {
+	for _, f := range rep.Failures {
+		if f.Injected {
+			return true
+		}
+	}
+	return false
+}
+
+// Smoke returns the reduced-sweep "smoke" variant of sp the server
+// degrades to under load: at most maxJobs of the experiment's jobs
+// run, the rest are omitted as if skipped, and the assembled table is
+// flagged. The transformation is pure — the load test runs it on the
+// reference side to reproduce a degraded result exactly.
+func Smoke(sp bench.Spec, maxJobs int) bench.Spec {
+	if maxJobs < 1 {
+		maxJobs = 1
+	}
+	inner := sp
+	sp.Jobs = func(full bool) []bench.Job {
+		js := inner.Jobs(full)
+		if len(js) > maxJobs {
+			js = js[:maxJobs]
+		}
+		return js
+	}
+	sp.Assemble = func(full bool, out []any) bench.Table {
+		all := inner.Jobs(full)
+		padded := make([]any, len(all))
+		copy(padded, out)
+		tab := inner.Assemble(full, padded)
+		if len(out) < len(all) {
+			tab.Notes = append(tab.Notes, fmt.Sprintf(
+				"degraded: smoke variant ran %d of %d jobs", len(out), len(all)))
+		}
+		return tab
+	}
+	return sp
+}
+
+// uploadReplayID names the synthetic experiment an uploaded trace
+// runs as.
+const uploadReplayID = "upload-replay"
+
+// traceSpec wraps an uploaded trace as a one-job experiment: replay
+// it through a fresh hierarchy built from the trace's own geometry
+// and report the cycle/miss fingerprint.
+func traceSpec(tr *trace.Trace) bench.Spec {
+	return bench.Spec{
+		ID:   uploadReplayID,
+		Desc: "replay of the uploaded binary trace",
+		Jobs: func(full bool) []bench.Job {
+			return []bench.Job{{
+				Name: uploadReplayID + "/replay",
+				Run: func(ctx context.Context, s *sim.Sim, full bool) (any, error) {
+					h := cache.New(tr.Config)
+					cycles := trace.AccessTrace(h, tr.Records)
+					st := h.Stats()
+					last := len(st.Levels) - 1
+					return []string{
+						fmt.Sprintf("%d", len(tr.Records)),
+						fmt.Sprintf("%d", cycles),
+						fmt.Sprintf("%d", st.Levels[last].Misses),
+					}, nil
+				},
+			}}
+		},
+		Assemble: func(full bool, out []any) bench.Table {
+			tab := bench.Table{
+				ID:     uploadReplayID,
+				Title:  "Uploaded trace replay fingerprint",
+				Header: []string{"records", "cycles", "LL misses"},
+			}
+			if row, ok := out[0].([]string); ok {
+				tab.Rows = append(tab.Rows, row)
+			}
+			return tab
+		},
+	}
+}
+
+// benchSpecs expands a request into the bench specs it runs,
+// applying the smoke transformation when degraded.
+func benchSpecs(req *Request, degraded bool, smokeJobs int) []bench.Spec {
+	var specs []bench.Spec
+	for _, id := range req.Spec.Experiments {
+		sp, ok := bench.Lookup(id)
+		if !ok {
+			// ParseSpec validated the ids; an unknown one here means
+			// the registry changed under a running server.
+			panic("serve: experiment vanished from registry: " + id)
+		}
+		specs = append(specs, sp)
+	}
+	if req.Trace != nil {
+		specs = append(specs, traceSpec(req.Trace))
+	}
+	if degraded {
+		for i := range specs {
+			specs[i] = Smoke(specs[i], smokeJobs)
+		}
+	}
+	return specs
+}
+
+// runOptions carries the server-side knobs runRequest needs; the
+// load test's reference runner uses the zero-sleep variant.
+type runOptions struct {
+	retry     RetryPolicy
+	smokeJobs int
+	// budget is the tenant's default per-request budget, used when
+	// the spec asks for none; 0 means unbudgeted.
+	defaultBudget int64
+	// sleep implements the backoff wait; the server passes a real
+	// context-aware sleep, the reference passes a no-op. It must
+	// return ctx.Err() when the context dies first.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// sleepCtx is the production backoff sleep.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// noSleep is the reference runner's backoff: instantaneous, but still
+// deadline-respecting.
+func noSleep(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+// runRequest executes one admitted request deterministically: a
+// bounded-attempt retry loop around a strictly serial bench run,
+// every job in a fresh per-tenant run context sharing the request's
+// fault injector and memory budget. It emits the full event stream
+// through emit and returns a typed error only when the stream itself
+// died (emit failed) or the context expired before a result could be
+// flushed; recorded job failures are not errors — they are payload.
+//
+// Determinism argument: jobs run serially (Parallel 1), so the
+// per-request injector sees one deterministic sequence of Check calls
+// across all attempts; the backoff jitter comes from a PRNG seeded by
+// the spec; no event carries a wall time. Server concurrency
+// parallelizes across requests, never within one.
+func runRequest(ctx context.Context, req *Request, degraded bool, inj *faults.Injector, opt runOptions, emit func(Event) error) error {
+	if err := emit(Event{Event: "accepted", Tenant: req.Spec.Tenant, Degraded: degraded}); err != nil {
+		return err
+	}
+	specs := benchSpecs(req, degraded, opt.smokeJobs)
+	full := req.Spec.Full && !degraded
+	rng := rand.New(rand.NewSource(req.Spec.Seed))
+	budgetBytes := req.Spec.BudgetBytes
+	if budgetBytes == 0 {
+		budgetBytes = opt.defaultBudget
+	}
+	sleep := opt.sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+
+	var lastRep bench.Report
+	attempt := 0
+	for attempt < opt.retry.attempts() {
+		attempt++
+		if err := ctx.Err(); err != nil {
+			return emitTerminal(emit, err)
+		}
+		if err := inj.Check(faults.ServeRun); err != nil {
+			// A transient whole-attempt failure: the seam the retry
+			// loop exists for. Record it and back off.
+			lastRep = bench.Report{Schema: bench.ReportSchema, Full: full, Failures: []bench.Failure{{
+				Experiment: "serve",
+				Job:        "serve/run",
+				Error:      err.Error(),
+				Class:      cclerr.Class(err),
+				Injected:   true,
+			}}}
+		} else {
+			lastRep = runAttempt(ctx, specs, full, inj, budgetBytes, attempt, emit)
+		}
+		if ctx.Err() != nil {
+			// The deadline cut the attempt short: flush what we have
+			// as a partial result instead of retrying into a dead
+			// context.
+			lastRep.Interrupted = true
+			break
+		}
+		if !retryable(lastRep) || attempt == opt.retry.attempts() {
+			break
+		}
+		if err := emitAttempt(emit, attempt, lastRep); err != nil {
+			return err
+		}
+		if err := sleep(ctx, opt.retry.Backoff(attempt, rng)); err != nil {
+			return emitTerminal(emit, cclerr.Errorf(cclerr.ErrDeadlineExceeded,
+				"serve: deadline during retry backoff: %v", err))
+		}
+	}
+	res := &Result{
+		Schema:   SpecSchema,
+		Tenant:   req.Spec.Tenant,
+		Degraded: degraded,
+		Attempts: attempt,
+		Report:   bench.StripTimings(lastRep),
+	}
+	return emit(Event{Event: "result", Attempt: attempt, Result: res})
+}
+
+// runAttempt executes one serial pass over the request's specs.
+func runAttempt(ctx context.Context, specs []bench.Spec, full bool, inj *faults.Injector, budgetBytes int64, attempt int, emit func(Event) error) bench.Report {
+	var budget *sim.Budget
+	if budgetBytes > 0 {
+		// Fresh per attempt: the budget bounds one run's footprint,
+		// and a retried run starts from zero like the reference.
+		budget = sim.NewBudget(budgetBytes)
+	}
+	var emitErr error
+	rep := bench.Run(ctx, specs, bench.Options{
+		Full:     full,
+		Parallel: 1, // serial within a request: the determinism invariant
+		NewSim: func() *sim.Sim {
+			s := sim.New()
+			inj.ArmSim(s)
+			if budget != nil {
+				s.SetBudget(budget)
+			}
+			return s
+		},
+		OnProgress: func(p bench.Progress) {
+			if emitErr != nil {
+				return
+			}
+			emitErr = emit(Event{
+				Event: "experiment", ID: p.ID, Attempt: attempt,
+				Jobs: p.Jobs, Failed: p.Failed, Skipped: p.Skipped,
+				Done: p.Done, Total: p.Total,
+			})
+		},
+	})
+	if emitErr != nil {
+		// The stream died mid-attempt; surface it as a failure record
+		// so the caller's retryable/terminal logic sees it.
+		rep.Failures = append(rep.Failures, bench.Failure{
+			Experiment: "serve", Job: "serve/stream",
+			Error: emitErr.Error(), Class: cclerr.Class(emitErr),
+		})
+	}
+	return rep
+}
+
+// emitAttempt reports a failed attempt that will be retried.
+func emitAttempt(emit func(Event) error, attempt int, rep bench.Report) error {
+	first := ""
+	class := ""
+	for _, f := range rep.Failures {
+		if f.Injected {
+			first, class = f.Error, f.Class
+			break
+		}
+	}
+	return emit(Event{Event: "attempt", Attempt: attempt, Error: first, Class: class, Retrying: true})
+}
+
+// emitTerminal converts a request-level failure into the stream's
+// final event; the emit error (a dead client) wins over the payload
+// error if both occur.
+func emitTerminal(emit func(Event) error, err error) error {
+	class := cclerr.Class(err)
+	if errors.Is(err, context.DeadlineExceeded) && class == "" {
+		class = "deadline-exceeded"
+	}
+	if eerr := emit(Event{Event: "error", Error: err.Error(), Class: class}); eerr != nil {
+		return eerr
+	}
+	return err
+}

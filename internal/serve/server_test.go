@@ -1,0 +1,478 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ccl/internal/cache"
+	"ccl/internal/trace"
+)
+
+// newTestServer starts an httptest server wired the way cclserve
+// wires a real one (BaseContext included).
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(cfg)
+	hs := httptest.NewUnstartedServer(srv.Handler())
+	hs.Config.BaseContext = func(net.Listener) context.Context { return srv.BaseContext() }
+	hs.Start()
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+func postSpec(t *testing.T, url string, sp Spec) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// decodeStream consumes an NDJSON response into its events.
+func decodeStream(t *testing.T, resp *http.Response) []Event {
+	t.Helper()
+	var evs []Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), MaxSpecBytes)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	return evs
+}
+
+func wantRejection(t *testing.T, resp *http.Response, status int) errorBody {
+	t.Helper()
+	if resp.StatusCode != status {
+		t.Fatalf("status %d, want %d", resp.StatusCode, status)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("rejection body: %v", err)
+	}
+	if eb.Class == "" {
+		t.Errorf("rejection %q has no class", eb.Error)
+	}
+	return eb
+}
+
+func TestServeHappyPath(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp := postSpec(t, hs.URL, Spec{Schema: SpecSchema, Tenant: "acme", Experiments: []string{"control"}, Seed: 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	evs := decodeStream(t, resp)
+	if len(evs) < 2 || evs[0].Event != "accepted" {
+		t.Fatalf("events: %+v", evs)
+	}
+	last := evs[len(evs)-1]
+	if last.Event != "result" || last.Result == nil {
+		t.Fatalf("terminal event: %+v", last)
+	}
+	if last.Result.Attempts != 1 || last.Result.Degraded {
+		t.Errorf("result treated oddly: %+v", last.Result)
+	}
+	if len(last.Result.Report.Experiments) == 0 {
+		t.Error("result carries no tables")
+	}
+}
+
+func TestServeRetriesInjectedFault(t *testing.T) {
+	_, hs := newTestServer(t, Config{Sleep: noSleep})
+	resp := postSpec(t, hs.URL, Spec{
+		Schema: SpecSchema, Tenant: "acme", Experiments: []string{"control"},
+		Seed: 3, Fault: "serve-run:1",
+	})
+	evs := decodeStream(t, resp)
+	var sawRetry bool
+	for _, ev := range evs {
+		if ev.Event == "attempt" && ev.Retrying {
+			sawRetry = true
+			if ev.Class == "" {
+				t.Errorf("retry event has no class: %+v", ev)
+			}
+		}
+	}
+	if !sawRetry {
+		t.Fatalf("no retry event in %+v", evs)
+	}
+	last := evs[len(evs)-1]
+	if last.Event != "result" || last.Result == nil || last.Result.Attempts != 2 {
+		t.Fatalf("want a 2-attempt result, got %+v", last)
+	}
+	if len(last.Result.Report.Failures) != 0 {
+		t.Errorf("retried run still carries failures: %+v", last.Result.Report.Failures)
+	}
+}
+
+func TestServeRetryExhaustionKeepsFailures(t *testing.T) {
+	_, hs := newTestServer(t, Config{Sleep: noSleep, Retry: RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond}})
+	resp := postSpec(t, hs.URL, Spec{
+		Schema: SpecSchema, Tenant: "acme", Experiments: []string{"control"},
+		Fault: "serve-run:1,serve-run:2",
+	})
+	evs := decodeStream(t, resp)
+	last := evs[len(evs)-1]
+	if last.Event != "result" || last.Result == nil {
+		t.Fatalf("terminal: %+v", last)
+	}
+	if last.Result.Attempts != 2 {
+		t.Errorf("attempts %d, want 2 (exhausted)", last.Result.Attempts)
+	}
+	if len(last.Result.Report.Failures) == 0 {
+		t.Error("exhausted retries must surface the final failure")
+	}
+	for _, f := range last.Result.Report.Failures {
+		if f.Class == "" {
+			t.Errorf("failure %q has no class", f.Error)
+		}
+	}
+}
+
+func TestServeBudgetExceededIsTyped(t *testing.T) {
+	_, hs := newTestServer(t, Config{Sleep: noSleep})
+	resp := postSpec(t, hs.URL, Spec{
+		Schema: SpecSchema, Tenant: "acme", Experiments: []string{"table2"},
+		BudgetBytes: 4096,
+	})
+	evs := decodeStream(t, resp)
+	last := evs[len(evs)-1]
+	if last.Event != "result" || last.Result == nil {
+		t.Fatalf("terminal: %+v", last)
+	}
+	if last.Result.Attempts != 1 {
+		t.Errorf("budget failures are deterministic, must not retry: attempts=%d", last.Result.Attempts)
+	}
+	found := false
+	for _, f := range last.Result.Report.Failures {
+		if f.Class == "budget-exceeded" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no budget-exceeded failure in %+v", last.Result.Report.Failures)
+	}
+}
+
+func TestServeAdmissionRejections(t *testing.T) {
+	cfg := Config{
+		DefaultTenant: TenantConfig{RatePerSec: 0.001, Burst: 1, MaxActive: 1},
+	}
+	_, hs := newTestServer(t, cfg)
+	// First request spends tenant-a's only token.
+	resp := postSpec(t, hs.URL, Spec{Schema: SpecSchema, Tenant: "tenant-a", Experiments: []string{"control"}})
+	decodeStream(t, resp)
+	// Second is rate-limited with a typed 429 + Retry-After.
+	resp = postSpec(t, hs.URL, Spec{Schema: SpecSchema, Tenant: "tenant-a", Experiments: []string{"control"}})
+	eb := wantRejection(t, resp, http.StatusTooManyRequests)
+	if eb.Class != "overloaded" {
+		t.Errorf("class %q, want overloaded", eb.Class)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 lacks Retry-After")
+	}
+	// A different tenant is unaffected: admission is per-tenant.
+	resp = postSpec(t, hs.URL, Spec{Schema: SpecSchema, Tenant: "tenant-b", Experiments: []string{"control"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tenant-b collateral damage: status %d", resp.StatusCode)
+	}
+	decodeStream(t, resp)
+}
+
+func TestServeAdmitFaultRejectsTyped(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp := postSpec(t, hs.URL, Spec{
+		Schema: SpecSchema, Tenant: "acme", Experiments: []string{"control"},
+		Fault: "serve-admit:1",
+	})
+	wantRejection(t, resp, http.StatusServiceUnavailable)
+}
+
+func TestServeOversizedBody(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	body := bytes.Repeat([]byte("x"), MaxSpecBytes+2)
+	resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	wantRejection(t, resp, http.StatusRequestEntityTooLarge)
+}
+
+func TestServeMethodNotAllowed(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp, err := http.Get(hs.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	wantRejection(t, resp, http.StatusMethodNotAllowed)
+}
+
+func TestServeDeadlineProducesInterruptedResult(t *testing.T) {
+	_, hs := newTestServer(t, Config{Sleep: noSleep})
+	resp := postSpec(t, hs.URL, Spec{
+		Schema: SpecSchema, Tenant: "acme",
+		Experiments: []string{"table1", "table2", "control"},
+		DeadlineMS:  1, // expires almost immediately
+	})
+	if resp.StatusCode == http.StatusOK {
+		evs := decodeStream(t, resp)
+		last := evs[len(evs)-1]
+		switch last.Event {
+		case "result":
+			if !last.Result.Report.Interrupted && len(last.Result.Report.Experiments) == 0 {
+				t.Errorf("deadline result neither interrupted nor populated: %+v", last.Result.Report)
+			}
+		case "error":
+			if last.Class == "" {
+				t.Errorf("terminal error has no class: %+v", last)
+			}
+		default:
+			t.Errorf("odd terminal event %+v", last)
+		}
+	} else {
+		// Deadline may fire while still queued: a typed 504.
+		wantRejection(t, resp, http.StatusGatewayTimeout)
+	}
+}
+
+func TestServeDegradationUnderLoad(t *testing.T) {
+	cfg := Config{
+		Shards: 1, WorkersPerShard: 1, QueueDepth: 16,
+		DegradeAt: 1, SmokeJobs: 1,
+		DefaultTenant: TenantConfig{MaxActive: 32},
+		Sleep:         noSleep,
+	}
+	_, hs := newTestServer(t, cfg)
+	const n = 6
+	results := make([]*Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postSpec(t, hs.URL, Spec{Schema: SpecSchema, Tenant: "acme", Experiments: []string{"table2"}, Seed: int64(i)})
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			evs := decodeStream(t, resp)
+			if last := evs[len(evs)-1]; last.Event == "result" {
+				results[i] = last.Result
+			}
+		}()
+	}
+	wg.Wait()
+	degraded := 0
+	for _, r := range results {
+		if r != nil && r.Degraded {
+			degraded++
+			notes := strings.Join(r.Report.Experiments[0].Notes, ";")
+			if !strings.Contains(notes, "degraded") {
+				t.Errorf("degraded table missing its note: %q", notes)
+			}
+		}
+	}
+	if degraded == 0 {
+		t.Error("one worker + DegradeAt=1 under 6 concurrent requests produced no degraded results")
+	}
+}
+
+func TestServePanicIsolated(t *testing.T) {
+	// An impossible occurrence count can't panic, so drive the panic
+	// path directly through a handler whose spec triggers the
+	// registry-vanished panic in benchSpecs via a crafted Request.
+	srv := New(Config{Sleep: noSleep})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	// Hand-build a request that passes admission but panics in run:
+	// an experiment id not in the registry.
+	req := &Request{Spec: Spec{Schema: SpecSchema, Tenant: "acme", Experiments: []string{"vanished"}}}
+	rec := httptest.NewRecorder()
+	hr := httptest.NewRequest(http.MethodPost, "/v1/jobs", nil)
+	srv.serveRequest(rec, hr, req)
+	// The server survived; the stream carries a typed error event.
+	resp := rec.Result()
+	defer resp.Body.Close()
+	evs := []Event{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev Event
+		if json.Unmarshal(sc.Bytes(), &ev) == nil {
+			evs = append(evs, ev)
+		}
+	}
+	last := evs[len(evs)-1]
+	if last.Event != "error" || !strings.Contains(last.Error, "panicked") {
+		t.Fatalf("panic not surfaced as stream error: %+v", evs)
+	}
+	// And the server still serves.
+	resp2 := postSpec(t, hs.URL, Spec{Schema: SpecSchema, Tenant: "acme", Experiments: []string{"control"}})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("server dead after panic: %d", resp2.StatusCode)
+	}
+	decodeStream(t, resp2)
+}
+
+func TestServeReplayEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	tr := trace.Trace{
+		Config:  cache.PaperHierarchy(),
+		Records: []trace.Record{{Addr: 0x40, Size: 8}, {Addr: 0x80, Size: 8}, {Addr: 0x40, Size: 8}},
+	}
+	resp, err := http.Post(hs.URL+"/v1/replay?tenant=acme&seed=9", "application/octet-stream", bytes.NewReader(tr.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	evs := decodeStream(t, resp)
+	last := evs[len(evs)-1]
+	if last.Event != "result" || last.Result == nil {
+		t.Fatalf("terminal: %+v", last)
+	}
+	tabs := last.Result.Report.Experiments
+	if len(tabs) != 1 || tabs[0].ID != uploadReplayID {
+		t.Fatalf("tables: %+v", tabs)
+	}
+	if len(tabs[0].Rows) != 1 || tabs[0].Rows[0][0] != "3" {
+		t.Errorf("replay fingerprint row: %+v", tabs[0].Rows)
+	}
+
+	// Bad query parameters are typed 400s.
+	resp2, err := http.Post(hs.URL+"/v1/replay?tenant=acme&seed=123abc", "application/octet-stream", bytes.NewReader(tr.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	wantRejection(t, resp2, http.StatusBadRequest)
+
+	// Corrupt trace bytes are typed 400s too.
+	resp3, err := http.Post(hs.URL+"/v1/replay?tenant=acme", "application/octet-stream", strings.NewReader("garbage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	wantRejection(t, resp3, http.StatusBadRequest)
+}
+
+func TestServeExperimentsAndHealth(t *testing.T) {
+	srv, hs := newTestServer(t, Config{})
+	resp, err := http.Get(hs.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Schema      string   `json:"schema"`
+		Experiments []string `json:"experiments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Schema != SpecSchema || len(list.Experiments) == 0 {
+		t.Fatalf("experiments payload: %+v", list)
+	}
+
+	resp2, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var h health
+	if err := json.NewDecoder(resp2.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("health %+v", h)
+	}
+	srv.BeginDrain()
+	resp3, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if err := json.NewDecoder(resp3.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" {
+		t.Errorf("post-drain health %+v", h)
+	}
+}
+
+func TestServeDrainRejectsAndCompletes(t *testing.T) {
+	srv, hs := newTestServer(t, Config{Sleep: noSleep})
+	srv.BeginDrain()
+	resp := postSpec(t, hs.URL, Spec{Schema: SpecSchema, Tenant: "acme", Experiments: []string{"control"}})
+	wantRejection(t, resp, http.StatusServiceUnavailable)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("idle drain: %v", err)
+	}
+}
+
+// TestServeDeterministicAcrossRuns submits the same spec to two
+// separate servers and expects byte-identical result lines.
+func TestServeDeterministicAcrossRuns(t *testing.T) {
+	get := func() string {
+		_, hs := newTestServer(t, Config{Sleep: noSleep})
+		b, _ := json.Marshal(Spec{
+			Schema: SpecSchema, Tenant: "acme",
+			Experiments: []string{"table1", "control"},
+			Seed:        42, Fault: "serve-run:1,arena-grow:2",
+		})
+		resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var line string
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<16), MaxSpecBytes)
+		for sc.Scan() {
+			var ev Event
+			if json.Unmarshal(sc.Bytes(), &ev) == nil && ev.Event == "result" {
+				line = sc.Text()
+			}
+		}
+		if line == "" {
+			t.Fatal("no result line")
+		}
+		return line
+	}
+	if a, b := get(), get(); a != b {
+		t.Errorf("result lines diverge:\n a: %s\n b: %s", a, b)
+	}
+}

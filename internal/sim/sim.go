@@ -23,8 +23,10 @@ package sim
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"ccl/internal/cache"
+	"ccl/internal/cclerr"
 	"ccl/internal/machine"
 	"ccl/internal/memsys"
 	"ccl/internal/telemetry"
@@ -35,8 +37,48 @@ import (
 type Sim struct {
 	mu        sync.Mutex
 	growGuard func(n int64) error
+	budget    *Budget
 	registry  *telemetry.Registry
 }
+
+// Budget is a cumulative simulated-memory budget: every arena growth
+// of every Sim the budget is attached to draws from it, and once it
+// is exhausted further growth fails with cclerr.ErrBudgetExceeded
+// (which the arena additionally wraps in ErrOutOfMemory, so existing
+// degradation paths engage unchanged). One Budget may be shared by
+// several Sims — the serve layer attaches one per request, covering
+// every job the request fans out into — and is safe for concurrent
+// use.
+type Budget struct {
+	max  int64
+	used atomic.Int64
+}
+
+// NewBudget returns a budget of max bytes. A non-positive max admits
+// nothing.
+func NewBudget(max int64) *Budget { return &Budget{max: max} }
+
+// Take consumes n bytes, failing with cclerr.ErrBudgetExceeded when
+// the budget cannot cover them; a failed Take consumes nothing.
+func (b *Budget) Take(n int64) error {
+	for {
+		used := b.used.Load()
+		if used+n > b.max {
+			return cclerr.Errorf(cclerr.ErrBudgetExceeded,
+				"sim: budget: %d-byte growth exceeds %d of %d bytes remaining",
+				n, b.max-used, b.max)
+		}
+		if b.used.CompareAndSwap(used, used+n) {
+			return nil
+		}
+	}
+}
+
+// Used returns the bytes consumed so far.
+func (b *Budget) Used() int64 { return b.used.Load() }
+
+// Max returns the budget's capacity in bytes.
+func (b *Budget) Max() int64 { return b.max }
 
 // New returns a fresh context with no guards armed and an empty
 // telemetry registry.
@@ -53,17 +95,33 @@ func (s *Sim) SetGrowGuard(g func(n int64) error) {
 	s.mu.Unlock()
 }
 
+// SetBudget attaches (or, with nil, detaches) a simulated-memory
+// budget every arena created through this context draws from on
+// growth. The guard is consulted first — an injected fault fires
+// before the budget is charged — and the budget may be shared across
+// several Sims to bound one request's total footprint.
+func (s *Sim) SetBudget(b *Budget) {
+	s.mu.Lock()
+	s.budget = b
+	s.mu.Unlock()
+}
+
 // checkGrow is the forwarding guard installed on adopted arenas; it
 // reads the current guard under the lock so arming and running can
 // happen on different goroutines.
 func (s *Sim) checkGrow(n int64) error {
 	s.mu.Lock()
-	g := s.growGuard
+	g, b := s.growGuard, s.budget
 	s.mu.Unlock()
-	if g == nil {
-		return nil
+	if g != nil {
+		if err := g(n); err != nil {
+			return err
+		}
 	}
-	return g(n)
+	if b != nil {
+		return b.Take(n)
+	}
+	return nil
 }
 
 // Registry returns the run's telemetry registry. Everything recorded

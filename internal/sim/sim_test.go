@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ccl/internal/cache"
+	"ccl/internal/cclerr"
 )
 
 // TestGrowGuardScopedToContext is the point of the package: a guard
@@ -77,4 +78,62 @@ func TestConcurrentSims(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+}
+
+func TestBudgetBoundsGrowth(t *testing.T) {
+	s := New()
+	b := NewBudget(4096)
+	s.SetBudget(b)
+	a := s.NewArena(1024)
+	if _, err := a.Grow(4096); err != nil {
+		t.Fatalf("growth within budget failed: %v", err)
+	}
+	_, err := a.Grow(1)
+	if !errors.Is(err, cclerr.ErrBudgetExceeded) {
+		t.Fatalf("over-budget growth: err = %v, want ErrBudgetExceeded", err)
+	}
+	if !errors.Is(err, cclerr.ErrOutOfMemory) {
+		t.Fatalf("budget failure should also wrap ErrOutOfMemory for degradation paths, got %v", err)
+	}
+	if got := b.Used(); got != 4096 {
+		t.Fatalf("Used() = %d after failed grow, want 4096 (failed Take must consume nothing)", got)
+	}
+	s.SetBudget(nil)
+	if _, err := a.Grow(1024); err != nil {
+		t.Fatalf("growth after detaching budget failed: %v", err)
+	}
+}
+
+func TestBudgetSharedAcrossSims(t *testing.T) {
+	// One request = one budget over every Sim its jobs run in.
+	b := NewBudget(2048)
+	s1, s2 := New(), New()
+	s1.SetBudget(b)
+	s2.SetBudget(b)
+	a1, a2 := s1.NewArena(1024), s2.NewArena(1024)
+	if _, err := a1.Grow(1024); err != nil {
+		t.Fatalf("first arena growth failed: %v", err)
+	}
+	if _, err := a2.Grow(1024); err != nil {
+		t.Fatalf("second arena growth failed: %v", err)
+	}
+	if _, err := a2.Grow(1024); !errors.Is(err, cclerr.ErrBudgetExceeded) {
+		t.Fatalf("shared budget not enforced across Sims: %v", err)
+	}
+}
+
+func TestBudgetGuardOrder(t *testing.T) {
+	// The grow guard fires before the budget is charged, so an
+	// injected fault does not also consume budget bytes.
+	s := New()
+	b := NewBudget(1 << 20)
+	s.SetBudget(b)
+	s.SetGrowGuard(func(n int64) error { return errors.New("vetoed") })
+	a := s.NewArena(1024)
+	if _, err := a.Grow(1024); err == nil {
+		t.Fatal("vetoed growth succeeded")
+	}
+	if got := b.Used(); got != 0 {
+		t.Fatalf("budget charged %d bytes for a vetoed growth", got)
+	}
 }
