@@ -1,0 +1,89 @@
+// Multicore: watch false sharing happen, then fix it with layout.
+// Builds the default 4-core topology (private L1/L2 per core, shared
+// LLC, MESI directory), runs the per-core counter loop packed and
+// padded, and shows what the 4C classifier says: the packed layout
+// pays a coherence miss on nearly every access, the padded layout —
+// same instructions, same operation count — pays none. A read-only
+// shared tree search closes with the other half of the story: sharing
+// costs nothing until somebody writes.
+package main
+
+import (
+	"fmt"
+
+	"ccl/internal/machine"
+	"ccl/internal/mc"
+)
+
+const (
+	cores = 4
+	iters = 2000
+)
+
+func topology() *machine.Topology {
+	return machine.NewTopology(machine.DefaultTopologyConfig(cores))
+}
+
+func counters(label string, stride int64) mc.Result {
+	tp := topology()
+	res, finals := mc.Counters(tp, mc.CounterConfig{Iters: iters, Stride: stride})
+	for core, v := range finals {
+		if v != iters {
+			panic(fmt.Sprintf("core %d counted %d, want %d", core, v, iters))
+		}
+	}
+	report(label, tp, res)
+	return res
+}
+
+func report(label string, tp *machine.Topology, res mc.Result) {
+	ops := int64(iters * cores)
+	fmt.Printf("--- %s: %.1f cycles/op (makespan %d over %d ops)\n",
+		label, float64(res.Makespan)/float64(ops), res.Makespan, ops)
+	fmt.Printf("  coherence misses %d, invalidations %d, forced writebacks %d, upgrades %d\n",
+		res.CoherenceMisses(), res.Coh.CopiesInvalidated, res.Coh.ForcedWritebacks, res.Coh.Upgrades)
+	for core := 0; core < tp.Cores(); core++ {
+		fmt.Printf("  core %d: %d cycles\n", core, res.CoreCycles[core])
+	}
+	// Per-structure attribution: the drivers register their data with
+	// each core's telemetry collector, so the report says not just how
+	// many coherence misses happened but on which structure.
+	for _, reg := range res.Reports[0].Regions {
+		fmt.Printf("  core 0 region %-10s coherence misses %d, invalidations %d\n",
+			reg.Label, reg.Coherence, reg.Invalidations)
+	}
+	fmt.Println()
+}
+
+func main() {
+	granule := machine.DefaultTopologyConfig(cores).LLC.BlockSize
+	fmt.Printf("4 cores, coherence granule = LLC block = %d bytes\n\n", granule)
+
+	// Each core increments its own counter — no logical sharing at
+	// all. Packed at stride 8, all four counters live in one granule:
+	// every store invalidates the other three cores' copies, and their
+	// next access is a coherence miss that must round-trip through the
+	// protocol.
+	packed := counters("packed counters (stride 8)", 8)
+
+	// The fix is one constant: stride the counters to the granule so
+	// each writer owns its line. Same loop, same operation count.
+	padded := counters(fmt.Sprintf("padded counters (stride %d)", granule), granule)
+
+	fmt.Printf("padding removed all %d coherence misses and cut cycles %.1fx\n\n",
+		packed.CoherenceMisses(),
+		float64(packed.Makespan)/float64(padded.Makespan))
+
+	// The control: four cores hammering one shared tree read-only.
+	// Every copy settles in the Shared state and stays there — the
+	// protocol grants them once and never speaks again.
+	tp := topology()
+	tree := mc.TreeSearch(tp, mc.TreeConfig{Nodes: 1<<12 - 1, Searches: 1000, Seed: 7})
+	fmt.Printf("--- read-only shared tree: %d searches/core\n", 1000)
+	fmt.Printf("  coherence misses %d, invalidations %d, shared grants %d\n",
+		tree.CoherenceMisses(), tree.Coh.CopiesInvalidated, tree.Coh.SharedGrants)
+	fmt.Println()
+	fmt.Println("False sharing is a layout bug, not a concurrency bug: no")
+	fmt.Println("synchronization changed between the two counter runs — only")
+	fmt.Println("the distance between bytes that different cores write.")
+}

@@ -61,6 +61,7 @@ func Registry() []Spec {
 		replaySpec(),
 		fieldprofSpec(),
 		strategiesSpec(),
+		multicoreSpec(),
 	}
 }
 

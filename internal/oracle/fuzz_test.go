@@ -12,6 +12,28 @@ import (
 // The historical blocks_covering_min fixture came out of exactly this
 // loop: a geometry whose L2 blocks were smaller than L1's plus one
 // access spanning two of the small blocks.
+// FuzzCoherenceDifferential does the same for the multicore machine:
+// the input seeds a random topology and then drives the interleaving
+// directly (each byte is one access; its high bits pick the core), so
+// the fuzzer explores protocol schedules — invalidation storms,
+// ping-pong, stale-directory no-ops — not just geometries. A
+// divergence means machine.Topology and the reference coherence model
+// disagree on some granule's state grant, latency, or miss flags.
+func FuzzCoherenceDifferential(f *testing.F) {
+	// A geometry header alone, a single-core run, a two-core
+	// ping-pong schedule (alternating high bits), and a dense
+	// mixed-core schedule.
+	f.Add([]byte{0, 0, 0, 0, 0})
+	f.Add([]byte{1, 0, 0, 0, 7, 7, 7, 7, 7, 7, 7, 7})
+	f.Add([]byte{2, 0, 0, 0, 0x01, 0x21, 0x01, 0x21, 0x01, 0x21, 0x01, 0x21})
+	f.Add([]byte{3, 1, 4, 1, 0x10, 0x9f, 0x33, 0xe1, 0x55, 0x7a, 0x02, 0xbd, 0x44, 0xc8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if d := DiffTopologyBytes(data); d != nil {
+			t.Fatal(d)
+		}
+	})
+}
+
 func FuzzDifferential(f *testing.F) {
 	// A geometry header alone (no records) and a couple of dense
 	// streams, including one that historically diverged: level byte

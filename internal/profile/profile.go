@@ -94,8 +94,8 @@ type rec struct {
 	accesses int64
 	l1Misses int64
 	llMisses int64
-	classes  [3]int64 // telemetry.MissClass-indexed, last level
-	stall    int64    // estimated stall cycles (stallEst table)
+	classes  [telemetry.NumClasses]int64 // MissClass-indexed, last level
+	stall    int64                       // estimated stall cycles (stallEst table)
 }
 
 func (r *rec) add(l1Miss, llMiss bool, cls telemetry.MissClass, stall int64) {
@@ -124,7 +124,7 @@ type epochState struct {
 	accesses int64
 	l1Misses int64
 	llMisses int64
-	classes  [3]int64
+	classes  [telemetry.NumClasses]int64
 }
 
 // Profiler implements cache.Observer. It owns a telemetry.Collector,
@@ -383,6 +383,7 @@ func (p *Profiler) sealEpoch() Epoch {
 		Compulsory: p.cur.classes[telemetry.Compulsory],
 		Capacity:   p.cur.classes[telemetry.Capacity],
 		Conflict:   p.cur.classes[telemetry.Conflict],
+		Coherence:  p.cur.classes[telemetry.Coherence],
 		HotSet:     -1,
 	}
 	for s, n := range p.setScratch {
@@ -405,6 +406,7 @@ func mergeEpochs(a, b Epoch) Epoch {
 		Compulsory: a.Compulsory + b.Compulsory,
 		Capacity:   a.Capacity + b.Capacity,
 		Conflict:   a.Conflict + b.Conflict,
+		Coherence:  a.Coherence + b.Coherence,
 		HotSet:     a.HotSet,
 		// Merged windows can only under-report: the hottest set of the
 		// union is at least the hotter of the halves, and touched sets

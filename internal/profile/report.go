@@ -64,6 +64,7 @@ type FieldProfile struct {
 	Compulsory int64  `json:"compulsory"`
 	Capacity   int64  `json:"capacity"`
 	Conflict   int64  `json:"conflict"`
+	Coherence  int64  `json:"coherence,omitempty"`
 	// StallCycles is the estimated stall attributable to the field
 	// (static per-level latencies; a ranking weight, not an exact
 	// cycle account).
@@ -87,6 +88,7 @@ type Epoch struct {
 	Compulsory   int64 `json:"compulsory"`
 	Capacity     int64 `json:"capacity"`
 	Conflict     int64 `json:"conflict"`
+	Coherence    int64 `json:"coherence,omitempty"`
 	HotSet       int64 `json:"hot_set"`
 	HotSetMisses int64 `json:"hot_set_misses"`
 	SetsTouched  int64 `json:"sets_touched"`
@@ -164,6 +166,7 @@ func fieldProfile(name string, off, size int64, r *rec) FieldProfile {
 		Compulsory:  r.classes[telemetry.Compulsory],
 		Capacity:    r.classes[telemetry.Capacity],
 		Conflict:    r.classes[telemetry.Conflict],
+		Coherence:   r.classes[telemetry.Coherence],
 		StallCycles: r.stall,
 	}
 }

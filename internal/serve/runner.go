@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"ccl/internal/bench"
 	"ccl/internal/cache"
 	"ccl/internal/cclerr"
 	"ccl/internal/faults"
+	"ccl/internal/profile"
 	"ccl/internal/sim"
 	"ccl/internal/trace"
 )
@@ -21,6 +23,8 @@ import (
 //   - "accepted":   tenant, degraded
 //   - "experiment": id, attempt, jobs, failed, skipped, done, total
 //   - "attempt":    attempt, error, class, retrying
+//   - "profile":    id ("experiment/workload"), profile — only when
+//     the spec asked for profiles; always precedes the result
 //   - "result":     attempt (attempts used), result
 //   - "error":      error, class (the stream's terminal failure)
 //
@@ -42,6 +46,10 @@ type Event struct {
 	Class    string  `json:"class,omitempty"`
 	Retrying bool    `json:"retrying,omitempty"`
 	Result   *Result `json:"result,omitempty"`
+	// Profile is a "profile" event's payload: one workload's
+	// ccl-profile/v1 report (the document carries its own schema
+	// field), streamed when the spec set profile: true.
+	Profile *profile.Report `json:"profile,omitempty"`
 }
 
 // Result is the deterministic payload of a completed request: the
@@ -310,14 +318,41 @@ func runRequest(ctx context.Context, req *Request, degraded bool, inj *faults.In
 				"serve: deadline during retry backoff: %v", err))
 		}
 	}
+	rep := bench.StripTimings(lastRep)
+	if req.Spec.Profile {
+		if err := emitProfiles(emit, rep); err != nil {
+			return err
+		}
+	}
 	res := &Result{
 		Schema:   SpecSchema,
 		Tenant:   req.Spec.Tenant,
 		Degraded: degraded,
 		Attempts: attempt,
-		Report:   bench.StripTimings(lastRep),
+		Report:   rep,
 	}
 	return emit(Event{Event: "result", Attempt: attempt, Result: res})
+}
+
+// emitProfiles streams every ccl-profile/v1 report the run produced as
+// its own event, experiments in report order and workloads in sorted
+// order — a deterministic sequence, so profiled streams diff cleanly
+// against reference runs like unprofiled ones do.
+func emitProfiles(emit func(Event) error, rep bench.Report) error {
+	for _, tab := range rep.Experiments {
+		keys := make([]string, 0, len(tab.Profiles))
+		for k := range tab.Profiles {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := tab.Profiles[k]
+			if err := emit(Event{Event: "profile", ID: tab.ID + "/" + k, Profile: &p}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // runAttempt executes one serial pass over the request's specs.

@@ -105,6 +105,64 @@ func TestServeHappyPath(t *testing.T) {
 	}
 }
 
+// TestServeProfileStreaming drives the profile: true path: a profiled
+// experiment's ccl-profile/v1 reports arrive as first-class "profile"
+// events, all of them before the terminal result; an experiment that
+// attaches no profiler emits none.
+func TestServeProfileStreaming(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp := postSpec(t, hs.URL, Spec{
+		Schema: SpecSchema, Tenant: "acme",
+		Experiments: []string{"fieldprof"}, Profile: true, Seed: 2,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	evs := decodeStream(t, resp)
+	var profiles []Event
+	sawResult := false
+	for _, ev := range evs {
+		switch ev.Event {
+		case "profile":
+			if sawResult {
+				t.Error("profile event after the result")
+			}
+			profiles = append(profiles, ev)
+		case "result":
+			sawResult = true
+		}
+	}
+	if !sawResult {
+		t.Fatalf("no result in %+v", evs)
+	}
+	if len(profiles) == 0 {
+		t.Fatal("profile: true produced no profile events")
+	}
+	for _, ev := range profiles {
+		if ev.Profile == nil || ev.Profile.Schema != "ccl-profile/v1" {
+			t.Fatalf("profile event without a ccl-profile/v1 payload: %+v", ev)
+		}
+		if !strings.HasPrefix(ev.ID, "fieldprof/") {
+			t.Errorf("profile event id %q lacks its experiment prefix", ev.ID)
+		}
+		if len(ev.Profile.Structs) == 0 {
+			t.Errorf("profile %s carries no struct breakdown", ev.ID)
+		}
+	}
+
+	// An unprofiled experiment under profile: true streams no profile
+	// events — the flag asks for what exists, it does not create work.
+	resp = postSpec(t, hs.URL, Spec{
+		Schema: SpecSchema, Tenant: "acme",
+		Experiments: []string{"control"}, Profile: true, Seed: 2,
+	})
+	for _, ev := range decodeStream(t, resp) {
+		if ev.Event == "profile" {
+			t.Fatalf("unprofiled experiment emitted a profile event: %+v", ev)
+		}
+	}
+}
+
 func TestServeRetriesInjectedFault(t *testing.T) {
 	_, hs := newTestServer(t, Config{Sleep: noSleep})
 	resp := postSpec(t, hs.URL, Spec{

@@ -87,6 +87,12 @@ type Spec struct {
 	// TraceB64 is a base64 (std encoding) binary trace
 	// (internal/trace format) to replay as an extra workload.
 	TraceB64 string `json:"trace_b64,omitempty"`
+	// Profile asks the stream for first-class profiler output: every
+	// ccl-profile/v1 report the run produced (the fieldprof
+	// experiment's per-workload field profiles) is emitted as its own
+	// "profile" event before the result. Experiments that attach no
+	// profiler simply emit none.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // FaultSpec is one parsed entry of Spec.Fault.

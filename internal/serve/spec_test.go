@@ -32,12 +32,16 @@ func TestParseSpecAccepts(t *testing.T) {
 		sp.Fault = "serve-run:2,arena-grow"
 		sp.DeadlineMS = 1000
 		sp.BudgetBytes = 1 << 20
+		sp.Profile = true
 	}))
 	if err != nil {
 		t.Fatalf("ParseSpec: %v", err)
 	}
 	if len(req.Faults) != 2 || req.Faults[0].N != 2 || req.Faults[1].N != 1 {
 		t.Errorf("fault schedule parsed as %+v", req.Faults)
+	}
+	if !req.Spec.Profile {
+		t.Error("profile flag lost in parsing")
 	}
 	if req.Trace != nil {
 		t.Error("no trace uploaded but Trace != nil")

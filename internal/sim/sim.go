@@ -161,3 +161,12 @@ func (s *Sim) NewPaper() *machine.Machine { return s.Adopt(machine.NewPaper()) }
 func (s *Sim) NewScaled(factor int64) *machine.Machine {
 	return s.Adopt(machine.NewScaled(factor))
 }
+
+// NewTopology builds an N-core topology (machine.NewTopology), owned
+// by this context: its shared arena obeys the run's grow guard and
+// memory budget like every single-core machine's.
+func (s *Sim) NewTopology(cfg machine.TopologyConfig) *machine.Topology {
+	t := machine.NewTopology(cfg)
+	s.AdoptArena(t.Arena)
+	return t
+}

@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"math/bits"
+
 	"ccl/internal/cache"
 	"ccl/internal/memsys"
 )
@@ -94,7 +96,7 @@ type levelTel struct {
 	accesses      int64
 	hits          int64
 	misses        int64
-	classes       [3]int64 // indexed by MissClass
+	classes       [NumClasses]int64 // indexed by MissClass
 	fills         int64
 	prefetchFills int64
 }
@@ -128,6 +130,15 @@ type Collector struct {
 	// shadow caches instead of running a second shadow simulation.
 	lastLL  bool
 	lastCls MissClass
+
+	// inval marks coherence granules a remote core's store
+	// invalidated while this core held them (MarkInvalidated, wired
+	// from a topology's directory hooks). The next miss on a marked
+	// granule classifies as Coherence instead of consulting the
+	// shadow caches; the mark is then consumed. nil (the default) is
+	// the single-core case, tested once per access.
+	inval    map[int64]struct{}
+	cohShift uint
 }
 
 var _ cache.Observer = (*Collector)(nil)
@@ -167,7 +178,7 @@ func (c *Collector) Regions() *RegionMap { return c.regions }
 func (c *Collector) Reset() {
 	for _, lt := range c.levels {
 		lt.accesses, lt.hits, lt.misses = 0, 0, 0
-		lt.classes = [3]int64{}
+		lt.classes = [NumClasses]int64{}
 		lt.fills, lt.prefetchFills = 0, 0
 	}
 	for i := range c.heat.accesses {
@@ -200,6 +211,14 @@ func (c *Collector) OnAccess(addr memsys.Addr, kind cache.AccessKind, hitLevel i
 	c.lastLL = false
 	reg := c.regions.find(addr)
 	reg.accesses++
+	// A pending invalidation mark overrides the 3C shadow verdict:
+	// the block is gone because a remote store took it, whatever the
+	// shadow caches think. Consumed below once any level misses.
+	coherent := false
+	if c.inval != nil {
+		_, coherent = c.inval[int64(addr)>>c.cohShift]
+	}
+	consumed := false
 	for i, lt := range c.levels {
 		if hitLevel != -1 && i > hitLevel {
 			break
@@ -211,6 +230,10 @@ func (c *Collector) OnAccess(addr memsys.Addr, kind cache.AccessKind, hitLevel i
 		} else {
 			lt.misses++
 			cls := lt.classify(blk)
+			if coherent {
+				cls = Coherence
+				consumed = true
+			}
 			lt.classes[cls]++
 			reg.misses[i]++
 			if i == last {
@@ -228,6 +251,9 @@ func (c *Collector) OnAccess(addr memsys.Addr, kind cache.AccessKind, hitLevel i
 		}
 		lt.seen[blk] = struct{}{}
 		lt.shadow.touch(blk)
+	}
+	if consumed {
+		delete(c.inval, int64(addr)>>c.cohShift)
 	}
 }
 
@@ -255,8 +281,26 @@ func (c *Collector) OnFill(level int, addr memsys.Addr, prefetch bool) {
 // per-field classification.
 func (c *Collector) LastLLMissClass() (MissClass, bool) { return c.lastCls, c.lastLL }
 
-// Misses returns the 3C breakdown of demand misses at level i.
-func (c *Collector) Misses(i int) (compulsory, capacity, conflict int64) {
+// MarkInvalidated records that a remote core's store invalidated the
+// span-byte coherence granule at addr while this collector's core
+// held it. The granule's next miss (at every level it misses)
+// classifies as Coherence, and the invalidation is charged to the
+// region containing the granule base. machine.Topology wires this to
+// the directory's per-core invalidation hooks; span is the coherence
+// granule (a power of two) and is fixed on first call.
+func (c *Collector) MarkInvalidated(addr memsys.Addr, span int64) {
+	if c.inval == nil {
+		c.inval = make(map[int64]struct{})
+		c.cohShift = uint(bits.TrailingZeros64(uint64(span)))
+	}
+	c.inval[int64(addr)>>c.cohShift] = struct{}{}
+	c.regions.find(addr).invalidations++
+}
+
+// Misses returns the 4C breakdown of demand misses at level i.
+// Coherence is always zero for collectors never fed invalidation
+// marks (every single-core run).
+func (c *Collector) Misses(i int) (compulsory, capacity, conflict, coherence int64) {
 	cl := c.levels[i].classes
-	return cl[Compulsory], cl[Capacity], cl[Conflict]
+	return cl[Compulsory], cl[Capacity], cl[Conflict], cl[Coherence]
 }

@@ -21,7 +21,7 @@ func checkThreeCSums(tr trace.Trace) error {
 		h.Access(r.Addr, r.Size, r.Kind.AccessKind())
 	}
 	for i := range tr.Config.Levels {
-		com, cap, con := c.Misses(i)
+		com, cap, con, _ := c.Misses(i)
 		if com < 0 || cap < 0 || con < 0 {
 			return fmt.Errorf("L%d: negative class count (%d, %d, %d)", i+1, com, cap, con)
 		}

@@ -13,13 +13,14 @@ import (
 // extents need not be contiguous); all of its ranges share one
 // counter record.
 type Region struct {
-	label    string
-	ranges   []memsys.AddrRange
-	bytes    int64
-	accesses int64
-	misses   []int64          // per cache level
-	classes  [3]int64         // 3C classes at the last level
-	fields   *layout.FieldMap // nil: no field-level attribution
+	label         string
+	ranges        []memsys.AddrRange
+	bytes         int64
+	accesses      int64
+	misses        []int64           // per cache level
+	classes       [NumClasses]int64 // 4C classes at the last level
+	invalidations int64             // granules lost to remote stores
+	fields        *layout.FieldMap  // nil: no field-level attribution
 }
 
 // Label returns the region's name.
@@ -178,6 +179,7 @@ func (m *RegionMap) reset() {
 		for i := range r.misses {
 			r.misses[i] = 0
 		}
-		r.classes = [3]int64{}
+		r.classes = [NumClasses]int64{}
+		r.invalidations = 0
 	}
 }

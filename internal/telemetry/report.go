@@ -14,8 +14,11 @@ type Report struct {
 	Regions []RegionReport `json:"regions,omitempty"`
 }
 
-// LevelReport is one cache level's demand-access summary with the 3C
-// miss breakdown (Compulsory + Capacity + Conflict == Misses).
+// LevelReport is one cache level's demand-access summary with the 4C
+// miss breakdown (Compulsory + Capacity + Conflict + Coherence ==
+// Misses). Coherence carries omitempty so single-core reports — and
+// every golden file recorded before the multicore model existed —
+// stay byte-identical.
 type LevelReport struct {
 	Name          string `json:"name"`
 	Accesses      int64  `json:"accesses"`
@@ -24,6 +27,7 @@ type LevelReport struct {
 	Compulsory    int64  `json:"compulsory"`
 	Capacity      int64  `json:"capacity"`
 	Conflict      int64  `json:"conflict"`
+	Coherence     int64  `json:"coherence,omitempty"`
 	Fills         int64  `json:"fills"`
 	PrefetchFills int64  `json:"prefetch_fills"`
 }
@@ -40,8 +44,9 @@ type Heatmap struct {
 }
 
 // RegionReport is one labeled structure's attribution record.
-// MissesByLevel is indexed by cache level; the 3C fields classify the
-// region's last-level misses.
+// MissesByLevel is indexed by cache level; the 4C fields classify the
+// region's last-level misses. Coherence and Invalidations carry
+// omitempty for the same golden-stability reason as LevelReport.
 type RegionReport struct {
 	Label         string  `json:"label"`
 	Bytes         int64   `json:"bytes"`
@@ -50,6 +55,8 @@ type RegionReport struct {
 	Compulsory    int64   `json:"compulsory"`
 	Capacity      int64   `json:"capacity"`
 	Conflict      int64   `json:"conflict"`
+	Coherence     int64   `json:"coherence,omitempty"`
+	Invalidations int64   `json:"invalidations,omitempty"`
 }
 
 // Report snapshots the collector's state. Regions appear in
@@ -66,6 +73,7 @@ func (c *Collector) Report() Report {
 			Compulsory:    lt.classes[Compulsory],
 			Capacity:      lt.classes[Capacity],
 			Conflict:      lt.classes[Conflict],
+			Coherence:     lt.classes[Coherence],
 			Fills:         lt.fills,
 			PrefetchFills: lt.prefetchFills,
 		})
@@ -99,6 +107,8 @@ func regionReport(r *Region) RegionReport {
 		Compulsory:    r.classes[Compulsory],
 		Capacity:      r.classes[Capacity],
 		Conflict:      r.classes[Conflict],
+		Coherence:     r.classes[Coherence],
+		Invalidations: r.invalidations,
 	}
 }
 

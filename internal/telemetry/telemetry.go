@@ -149,7 +149,8 @@ func Attach(h *cache.Hierarchy) *Collector {
 	return c
 }
 
-// MissClass is a 3C demand-miss classification.
+// MissClass is a 4C demand-miss classification: the classic 3C model
+// plus the coherence class a multi-core topology introduces.
 type MissClass int
 
 const (
@@ -165,7 +166,17 @@ const (
 	// placement had evicted it. These are the misses coloring (§3.2)
 	// removes, and the reason the paper colors at all.
 	Conflict
+	// Coherence misses are re-references to a block another core's
+	// store invalidated while it was resident here — the class false
+	// sharing creates and padding/splitting removes. Only collectors
+	// fed invalidation marks (Collector.MarkInvalidated, wired from a
+	// machine.Topology's directory hooks) ever report it; single-core
+	// runs classify exactly as the 3C model did.
+	Coherence
 )
+
+// NumClasses is the number of miss classes (the 4C model).
+const NumClasses = 4
 
 // String names the class.
 func (c MissClass) String() string {
@@ -176,6 +187,8 @@ func (c MissClass) String() string {
 		return "capacity"
 	case Conflict:
 		return "conflict"
+	case Coherence:
+		return "coherence"
 	default:
 		return fmt.Sprintf("MissClass(%d)", int(c))
 	}

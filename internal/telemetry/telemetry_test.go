@@ -42,7 +42,7 @@ func TestPingPongIsConflict(t *testing.T) {
 		h.Access(a, 8, cache.Load)
 		h.Access(b, 8, cache.Load)
 	}
-	comp, cap, conf := col.Misses(0)
+	comp, cap, conf, _ := col.Misses(0)
 	if comp != 2 {
 		t.Errorf("compulsory = %d, want 2 (first touch of each block)", comp)
 	}
@@ -66,7 +66,7 @@ func TestFullyAssociativeHasNoConflictMisses(t *testing.T) {
 			h.Access(memsys.Addr(0x1000+i*16), 8, cache.Load)
 		}
 	}
-	comp, cap, conf := col.Misses(0)
+	comp, cap, conf, _ := col.Misses(0)
 	if conf != 0 {
 		t.Fatalf("fully-associative cache reported %d conflict misses", conf)
 	}
@@ -97,7 +97,7 @@ func TestClassesSumToMisses(t *testing.T) {
 	}
 	st := h.Stats()
 	for i := range st.Levels {
-		comp, cap, conf := col.Misses(i)
+		comp, cap, conf, _ := col.Misses(i)
 		if got := comp + cap + conf; got != st.Levels[i].Misses {
 			t.Errorf("level %d: classes sum to %d, cache counted %d", i, got, st.Levels[i].Misses)
 		}
@@ -220,7 +220,7 @@ func TestCollectorReset(t *testing.T) {
 	// block is no longer compulsory but the cache still holds it, so a
 	// re-access is a plain hit with zero misses.
 	h.Access(0x1000, 8, cache.Load)
-	comp, _, _ := col.Misses(0)
+	comp, _, _, _ := col.Misses(0)
 	if comp != 0 {
 		t.Errorf("block re-counted as compulsory after Reset: %d", comp)
 	}
@@ -240,7 +240,7 @@ func TestPrefetchFillsExcludedFrom3C(t *testing.T) {
 	if rep.Levels[0].PrefetchFills != 1 {
 		t.Errorf("prefetch fills = %d, want 1", rep.Levels[0].PrefetchFills)
 	}
-	comp, cap, conf := col.Misses(0)
+	comp, cap, conf, _ := col.Misses(0)
 	if comp+cap+conf != 0 {
 		t.Errorf("prefetch classified as a demand miss: %d/%d/%d", comp, cap, conf)
 	}

@@ -55,15 +55,24 @@ func (k Kind) AccessKind() cache.AccessKind {
 	return cache.Load
 }
 
-// Record is one replayed demand access.
+// Record is one replayed demand access. Core is the issuing core for
+// multicore traces; single-core traces leave it 0, and the codec only
+// emits the core field (and the version-2 magic) when some record
+// sets it, so single-core captures stay byte-identical to version 1.
 type Record struct {
 	Kind Kind
 	Addr memsys.Addr
 	Size int64
+	Core int
 }
 
 // String formats the record the way divergence reports print it.
+// Core 0 prints as before so uniprocessor fixtures and goldens keep
+// their historical rendering.
 func (r Record) String() string {
+	if r.Core != 0 {
+		return fmt.Sprintf("c%d %s %v+%d", r.Core, r.Kind, r.Addr, r.Size)
+	}
 	return fmt.Sprintf("%s %v+%d", r.Kind, r.Addr, r.Size)
 }
 
@@ -76,19 +85,46 @@ type Trace struct {
 }
 
 // magic identifies the binary encoding; bump the trailing version byte
-// on incompatible change.
-var magic = []byte("ccltrc\x00\x01")
+// on incompatible change. Version 1 is the uniprocessor format;
+// version 2 adds a per-record core uvarint and is emitted only when a
+// trace actually uses non-zero cores, so every version-1 decoder
+// artifact (fixtures, goldens) round-trips unchanged.
+var (
+	magic   = []byte("ccltrc\x00\x01")
+	magicV2 = []byte("ccltrc\x00\x02")
+)
+
+// maxCores bounds the decoded per-record core index, matching the
+// topology limit (machine.TopologyConfig's 64-core cap).
+const maxCores = 64
 
 // maxDecodeRecords caps decoded record counts so a corrupt or
 // adversarial header cannot force a huge allocation.
 const maxDecodeRecords = 1 << 24
 
+// multicore reports whether any record names a non-zero core, which
+// selects the version-2 encoding.
+func (t Trace) multicore() bool {
+	for _, r := range t.Records {
+		if r.Core != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Encode serializes the trace to its compact binary form: the magic,
-// the geometry, then each record as a kind byte, a zigzag address
-// delta from the previous record's address (streams have strong
-// locality, so deltas stay short), and a size varint.
+// the geometry, then each record as a kind byte, an optional core
+// uvarint (version 2 only), a zigzag address delta from the previous
+// record's address (streams have strong locality, so deltas stay
+// short), and a size varint.
 func (t Trace) Encode() []byte {
-	buf := append([]byte(nil), magic...)
+	v2 := t.multicore()
+	m := magic
+	if v2 {
+		m = magicV2
+	}
+	buf := append([]byte(nil), m...)
 	buf = binary.AppendUvarint(buf, uint64(len(t.Config.Levels)))
 	for _, l := range t.Config.Levels {
 		buf = binary.AppendUvarint(buf, uint64(len(l.Name)))
@@ -108,6 +144,9 @@ func (t Trace) Encode() []byte {
 	prev := int64(0)
 	for _, r := range t.Records {
 		buf = append(buf, byte(r.Kind))
+		if v2 {
+			buf = binary.AppendUvarint(buf, uint64(r.Core))
+		}
 		buf = binary.AppendVarint(buf, int64(r.Addr)-prev)
 		buf = binary.AppendUvarint(buf, uint64(r.Size))
 		prev = int64(r.Addr)
@@ -171,7 +210,12 @@ func Decode(data []byte) (Trace, error) {
 
 func decode(data []byte) (Trace, error) {
 	var t Trace
-	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic) {
+	v2 := false
+	switch {
+	case len(data) >= len(magic) && string(data[:len(magic)]) == string(magic):
+	case len(data) >= len(magicV2) && string(data[:len(magicV2)]) == string(magicV2):
+		v2 = true
+	default:
 		return t, fmt.Errorf("trace: bad magic")
 	}
 	d := &decoder{buf: data, off: len(magic)}
@@ -240,6 +284,16 @@ func decode(data []byte) (Trace, error) {
 		if kb >= byte(kindCount) {
 			return t, fmt.Errorf("trace: record %d: unknown kind %d", i, kb)
 		}
+		core := uint64(0)
+		if v2 {
+			core, err = d.uvarint()
+			if err != nil {
+				return t, err
+			}
+			if core >= maxCores {
+				return t, fmt.Errorf("trace: record %d: implausible core %d", i, core)
+			}
+		}
 		delta, err := d.varint()
 		if err != nil {
 			return t, err
@@ -252,7 +306,7 @@ func decode(data []byte) (Trace, error) {
 		if addr < 0 || size == 0 {
 			return t, fmt.Errorf("trace: record %d: invalid addr/size (%d, %d)", i, addr, size)
 		}
-		t.Records = append(t.Records, Record{Kind: Kind(kb), Addr: memsys.Addr(addr), Size: int64(size)})
+		t.Records = append(t.Records, Record{Kind: Kind(kb), Addr: memsys.Addr(addr), Size: int64(size), Core: int(core)})
 		prev = addr
 	}
 	if d.off != len(data) {
