@@ -32,6 +32,7 @@ package ccl
 import (
 	"io"
 
+	"ccl/internal/apps/serving"
 	"ccl/internal/cache"
 	"ccl/internal/cclerr"
 	"ccl/internal/ccmalloc"
@@ -379,3 +380,99 @@ func NewFieldMap(structName string, size int64, fields ...Field) (FieldMap, erro
 // the same format `ccbench -profile` exports. The pprof form is
 // rep.WritePprof.
 func WriteProfile(w io.Writer, rep Profile) error { return profile.WriteJSON(w, rep) }
+
+// Serving workloads (the Zipfian KV store, intrusive LRU cache, and
+// cache-line-aligned d-ary priority queue of internal/apps/serving;
+// see DESIGN.md §14). These are the library's serving-shaped
+// structures: each races layout/placement variants over the simulated
+// heap under a seeded Zipfian op stream, with per-structure telemetry
+// attribution. The `ccbench serving` experiment tabulates the races.
+type (
+	// Zipf is a deterministic seeded Zipfian key generator (inverse
+	// CDF, so exponents below 1 — the serving-canonical s=0.99 —
+	// work, unlike math/rand's rejection sampler).
+	Zipf = serving.Zipf
+	// KV is an open-addressing hash-table KV store with tunable slot
+	// layout (AoS vs hot/cold key-metadata split) and placement
+	// (malloc, ccmalloc, colored).
+	KV = serving.KV
+	// KVConfig selects the store's layout, placement, and sizing.
+	KVConfig = serving.KVConfig
+	// LRU is an intrusive least-recently-used cache with co-located
+	// or split list links.
+	LRU = serving.LRU
+	// LRUConfig selects the cache's layout, placement, and sizing.
+	LRUConfig = serving.LRUConfig
+	// PQueue is an implicit d-ary min-heap whose sibling groups are
+	// aligned to cache lines (a 4-ary group is exactly one 64-byte
+	// line).
+	PQueue = serving.PQueue
+	// PQConfig selects the heap's arity and capacity.
+	PQConfig = serving.PQConfig
+)
+
+// KV layout and placement variants.
+const (
+	KVAoS      = serving.KVAoS
+	KVSplit    = serving.KVSplit
+	KVMalloc   = serving.KVMalloc
+	KVCCMalloc = serving.KVCCMalloc
+	KVColored  = serving.KVColored
+)
+
+// LRU placement variants.
+const (
+	LRUMalloc   = serving.LRUMalloc
+	LRUCCMalloc = serving.LRUCCMalloc
+)
+
+// NewZipf returns a generator over keys [1, n] with exponent s
+// (s=0 uniform; higher skews harder). It fails with ErrInvalidArg
+// outside the supported parameter ranges.
+func NewZipf(seed int64, s float64, n int64) (*Zipf, error) {
+	return serving.NewZipf(seed, s, n)
+}
+
+// NewKV builds a KV store over the machine's heap. Configuration
+// errors are typed ErrInvalidArg; a colored store whose place guard
+// vetoes fails with ErrPlacementFailed.
+func NewKV(m *Machine, cfg KVConfig) (*KV, error) { return serving.NewKV(m, cfg) }
+
+// NewLRU builds an LRU cache over the machine's heap.
+func NewLRU(m *Machine, cfg LRUConfig) (*LRU, error) { return serving.NewLRU(m, cfg) }
+
+// NewPQueue builds a priority queue over the machine's heap.
+func NewPQueue(m *Machine, cfg PQConfig) (*PQueue, error) { return serving.NewPQueue(m, cfg) }
+
+// Workload drivers: seeded Zipfian op streams over the serving
+// structures. Deterministic — same seed, same structure state, same
+// stats.
+type (
+	// KVWorkload is a Zipfian get/put stream over a KV store.
+	KVWorkload = serving.KVWorkload
+	// LRUWorkload is a Zipfian cache-aside stream over an LRU cache.
+	LRUWorkload = serving.LRUWorkload
+	// PQWorkload is the hold model over a priority queue.
+	PQWorkload = serving.PQWorkload
+	// WorkloadStats summarizes one driven op stream; Checksum folds
+	// every returned value, so two runs agree iff the structures
+	// behaved identically.
+	WorkloadStats = serving.WorkloadStats
+)
+
+// WarmKV populates kv with every resident key of the [1, keys] space
+// (keys divisible by 3 stay absent, so a third of Zipfian lookups are
+// negative).
+func WarmKV(kv *KV, keys int64) error { return serving.WarmKV(kv, keys) }
+
+// RunKV drives kv with w's op stream.
+func RunKV(kv *KV, w KVWorkload) (WorkloadStats, error) { return serving.RunKV(kv, w) }
+
+// RunLRU drives c with w's op stream.
+func RunLRU(c *LRU, w LRUWorkload) (WorkloadStats, error) { return serving.RunLRU(c, w) }
+
+// FillPQ pushes w.Fill elements with seeded pseudo-random priorities.
+func FillPQ(q *PQueue, w PQWorkload) error { return serving.FillPQ(q, w) }
+
+// RunPQ drives q with w's hold-model stream (fill first).
+func RunPQ(q *PQueue, w PQWorkload) (WorkloadStats, error) { return serving.RunPQ(q, w) }

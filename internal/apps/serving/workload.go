@@ -1,0 +1,179 @@
+package serving
+
+import (
+	"math/rand"
+
+	"ccl/internal/cclerr"
+)
+
+// The workload drivers turn a seeded Zipfian key stream into
+// structure operations. Every driver is a pure function of its
+// config: same seed, same structure state, same stats — the property
+// the determinism regression suite and the parallel-equivalence bench
+// tests lock down.
+
+// WorkloadStats summarizes one driven op stream. Checksum folds every
+// value the structure returned, so two runs agree iff the structures
+// behaved identically.
+type WorkloadStats struct {
+	Ops, Hits, Misses, Puts int64
+	Checksum                uint64
+}
+
+func (s *WorkloadStats) mix(v uint64) {
+	s.Checksum = (s.Checksum ^ v) * 0x100000001b3
+}
+
+// valueFor derives the payload written for key at op i —
+// deterministic, so replays regenerate identical memory images.
+func valueFor(key uint32, i int64) int64 {
+	return int64(uint64(key)*2862933555777941757 + uint64(i))
+}
+
+// PresentKey reports whether the KV warm phase makes key resident.
+// Keys divisible by 3 are never inserted, so roughly a third of
+// Zipfian lookups miss at every popularity rank — the negative-lookup
+// traffic a serving tier's existence checks generate.
+func PresentKey(key uint32) bool { return key%3 != 0 }
+
+// KVWorkload is a Zipfian get/put stream over a store.
+type KVWorkload struct {
+	Seed int64
+	S    float64
+	// Keys is the Zipfian key space [1, Keys].
+	Keys int64
+	Ops  int64
+	// PutEvery makes every PutEvery-th op an overwrite of a resident
+	// key; 0 disables writes.
+	PutEvery int64
+}
+
+// WarmKV populates kv with every resident key of the [1, keys] space.
+func WarmKV(kv *KV, keys int64) error {
+	for k := int64(1); k <= keys; k++ {
+		if !PresentKey(uint32(k)) {
+			continue
+		}
+		if err := kv.Put(uint32(k), valueFor(uint32(k), 0)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunKV drives kv with w's op stream. Writes target resident keys
+// only (an absent key redirects to a resident neighbor), so occupancy
+// — and with it the probe-length distribution — stays fixed across
+// the run.
+func RunKV(kv *KV, w KVWorkload) (WorkloadStats, error) {
+	z, err := NewZipf(w.Seed, w.S, w.Keys)
+	if err != nil {
+		return WorkloadStats{}, err
+	}
+	var st WorkloadStats
+	for i := int64(0); i < w.Ops; i++ {
+		k := z.Next()
+		st.Ops++
+		if w.PutEvery > 0 && i%w.PutEvery == w.PutEvery-1 {
+			if !PresentKey(k) {
+				k-- // k%3==0 implies k>=3, and k-1 is resident
+			}
+			if err := kv.Put(k, valueFor(k, i)); err != nil {
+				return st, err
+			}
+			st.Puts++
+			continue
+		}
+		if v, ok := kv.Get(k); ok {
+			st.Hits++
+			st.mix(uint64(v))
+		} else {
+			st.Misses++
+		}
+	}
+	return st, nil
+}
+
+// LRUWorkload is a Zipfian cache-aside stream: every miss loads the
+// value (deterministically derived) and inserts it, evicting at
+// capacity.
+type LRUWorkload struct {
+	Seed int64
+	S    float64
+	Keys int64
+	Ops  int64
+}
+
+// RunLRU drives c with w's op stream.
+func RunLRU(c *LRU, w LRUWorkload) (WorkloadStats, error) {
+	z, err := NewZipf(w.Seed, w.S, w.Keys)
+	if err != nil {
+		return WorkloadStats{}, err
+	}
+	var st WorkloadStats
+	for i := int64(0); i < w.Ops; i++ {
+		k := z.Next()
+		st.Ops++
+		if v, ok := c.Get(k); ok {
+			st.Hits++
+			st.mix(uint64(v))
+			continue
+		}
+		st.Misses++
+		if err := c.Put(k, valueFor(k, i)); err != nil {
+			return st, err
+		}
+		st.Puts++
+	}
+	return st, nil
+}
+
+// PQWorkload is the classic hold model over a queue: fill to a steady
+// size, then each op pops the minimum timer and re-arms it a Zipfian
+// delay later — so the queue's size is constant and every op pays one
+// full sift-down plus one sift-up.
+type PQWorkload struct {
+	Seed int64
+	S    float64
+	// Fill is the steady-state element count.
+	Fill int64
+	Ops  int64
+}
+
+// pqDelaySpan is the key space the Zipfian delay draw maps into.
+const pqDelaySpan = 1 << 16
+
+// FillPQ pushes Fill elements with seeded pseudo-random priorities.
+func FillPQ(q *PQueue, w PQWorkload) error {
+	rng := rand.New(rand.NewSource(w.Seed))
+	for i := int64(0); i < w.Fill; i++ {
+		if err := q.Push(rng.Int63n(1<<30), int64(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunPQ drives q with w's hold-model stream. The queue must hold at
+// least one element (FillPQ).
+func RunPQ(q *PQueue, w PQWorkload) (WorkloadStats, error) {
+	z, err := NewZipf(w.Seed+1, w.S, pqDelaySpan)
+	if err != nil {
+		return WorkloadStats{}, err
+	}
+	var st WorkloadStats
+	for i := int64(0); i < w.Ops; i++ {
+		pri, pay, ok := q.Pop()
+		if !ok {
+			return st, cclerr.Errorf(cclerr.ErrInvalidArg,
+				"serving: RunPQ on an empty queue (fill first)")
+		}
+		st.Ops++
+		st.mix(uint64(pri) ^ uint64(pay)<<1)
+		if err := q.Push(pri+int64(z.Next()), pay+1); err != nil {
+			return st, err
+		}
+		st.Hits++
+	}
+	return st, nil
+}

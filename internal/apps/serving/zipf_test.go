@@ -1,0 +1,70 @@
+package serving
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ccl/internal/cclerr"
+)
+
+func TestZipfValidation(t *testing.T) {
+	bad := []struct {
+		s float64
+		n int64
+	}{
+		{0.99, 0}, {0.99, -5}, {0.99, MaxZipfKeys + 1},
+		{-0.1, 100}, {math.NaN(), 100}, {math.Inf(1), 100}, {65, 100},
+	}
+	for _, c := range bad {
+		if _, err := NewZipf(1, c.s, c.n); !errors.Is(err, cclerr.ErrInvalidArg) {
+			t.Errorf("NewZipf(s=%v, n=%d): error %v, want ErrInvalidArg", c.s, c.n, err)
+		}
+	}
+}
+
+func TestZipfBoundedAndDeterministic(t *testing.T) {
+	for _, s := range []float64{0, 0.8, 0.99, 1.2, 3} {
+		a, err := NewZipf(42, s, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := NewZipf(42, s, 1000)
+		for i := 0; i < 5000; i++ {
+			ka, kb := a.Next(), b.Next()
+			if ka != kb {
+				t.Fatalf("s=%v draw %d: %d != %d across identically seeded generators", s, i, ka, kb)
+			}
+			if ka < 1 || int64(ka) > 1000 {
+				t.Fatalf("s=%v draw %d: key %d outside [1, 1000]", s, i, ka)
+			}
+		}
+	}
+}
+
+// TestZipfSkew checks the distribution actually skews: with s=0.99
+// the hottest decile of keys must dominate, and raising s must
+// concentrate it further.
+func TestZipfSkew(t *testing.T) {
+	share := func(s float64) float64 {
+		z, err := NewZipf(7, s, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top := 0
+		const draws = 20000
+		for i := 0; i < draws; i++ {
+			if z.Next() <= 100 {
+				top++
+			}
+		}
+		return float64(top) / draws
+	}
+	low, mid, high := share(0.8), share(0.99), share(1.2)
+	if !(low < mid && mid < high) {
+		t.Fatalf("top-decile share not increasing in s: %.3f (0.8), %.3f (0.99), %.3f (1.2)", low, mid, high)
+	}
+	if mid < 0.5 {
+		t.Fatalf("s=0.99 top-decile share %.3f, want skewed (>0.5)", mid)
+	}
+}

@@ -19,7 +19,7 @@ func TestSerialParallelEquivalence(t *testing.T) {
 	// normalization against a sibling job's baseline, and the oracle
 	// sweep's wide fan-out.
 	var specs []Spec
-	for _, id := range []string{"table1", "table2", "table3", "control", "oracle"} {
+	for _, id := range []string{"table1", "table2", "table3", "control", "oracle", "serving"} {
 		sp, ok := Lookup(id)
 		if !ok {
 			t.Fatalf("experiment %q not registered", id)

@@ -62,6 +62,7 @@ func Registry() []Spec {
 		fieldprofSpec(),
 		strategiesSpec(),
 		multicoreSpec(),
+		servingSpec(),
 	}
 }
 

@@ -59,6 +59,14 @@ var (
 	// ErrCorruptTrace reports an undecodable trace record stream.
 	ErrCorruptTrace = errors.New("corrupt trace")
 
+	// ErrCorruptStructure reports that a structure's invariant check
+	// found simulated memory inconsistent with its bookkeeping (a
+	// probe chain that lost a key, a payload that fails its integrity
+	// derivation, a list whose links disagree). Returned by the
+	// CheckInvariants methods of the serving structures; always a bug,
+	// never a recoverable condition.
+	ErrCorruptStructure = errors.New("corrupt structure")
+
 	// ErrFaultInjected marks errors scheduled by internal/faults.
 	// Injected failures additionally wrap the operational sentinel
 	// they simulate, so production code paths need not know about
@@ -99,7 +107,7 @@ func Errorf(sentinel error, format string, args ...any) error {
 func Sentinels() []error {
 	return []error{
 		ErrOutOfMemory, ErrBadGeometry, ErrInvalidArg, ErrNotTree,
-		ErrPlacementFailed, ErrCorruptTrace, ErrFaultInjected,
+		ErrPlacementFailed, ErrCorruptTrace, ErrCorruptStructure, ErrFaultInjected,
 		ErrOverloaded, ErrDeadlineExceeded, ErrBudgetExceeded,
 	}
 }
@@ -134,6 +142,8 @@ func Class(err error) string {
 		return "placement-failed"
 	case errors.Is(err, ErrCorruptTrace):
 		return "corrupt-trace"
+	case errors.Is(err, ErrCorruptStructure):
+		return "corrupt-structure"
 	case errors.Is(err, ErrInvalidArg):
 		return "invalid-argument"
 	case errors.Is(err, ErrFaultInjected):

@@ -48,6 +48,21 @@ func TestParseSpecAccepts(t *testing.T) {
 	}
 }
 
+// TestParseSpecAcceptsServing pins the serving experiment's id in
+// the spec surface: a tenant can request the workload-family race by
+// name, alone or alongside other experiments.
+func TestParseSpecAcceptsServing(t *testing.T) {
+	req, err := ParseSpec(validSpec(t, func(sp *Spec) {
+		sp.Experiments = []string{"serving", "table1"}
+	}))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if len(req.Spec.Experiments) != 2 || req.Spec.Experiments[0] != "serving" {
+		t.Errorf("experiments parsed as %v", req.Spec.Experiments)
+	}
+}
+
 func TestParseSpecRejections(t *testing.T) {
 	cases := []struct {
 		name string
